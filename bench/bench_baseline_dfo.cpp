@@ -1,0 +1,293 @@
+// Baseline comparison A4: implicit filtering vs. random search vs.
+// coordinate (compass) search vs. Nelder-Mead, at equal evaluation
+// budgets, on (a) the CDG-shaped synthetic BernoulliHill and (b) the
+// real L3 bypass objective.
+//
+// This is the comparison that motivates the paper's optimizer choice
+// (via Gal et al., "How to catch a lion in the desert" [5]): on noisy
+// black-box objectives, implicit filtering should match or beat the
+// baselines, with random search far behind at equal budget.
+//
+// Pass a scale factor for a quick run: ./bench_baseline_dfo 0.25
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "cdg/cdg_objective.hpp"
+#include "cdg/skeletonizer.hpp"
+#include "duv/l3_cache.hpp"
+#include "opt/baselines.hpp"
+#include "opt/implicit_filtering.hpp"
+#include "opt/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ascdg;
+
+struct Outcome {
+  double mean_best = 0.0;   ///< noisy observed best (winner's-curse biased)
+  double mean_true = 0.0;   ///< clean re-evaluation of the returned point
+  double mean_evals = 0.0;
+};
+
+// `true_value(objective, point)` must return a noise-free (or
+// high-precision) assessment of the returned point — the honest metric;
+// the observed best is also reported to show the winner's-curse gap.
+template <typename MakeObjective, typename Runner, typename TrueValue>
+Outcome average_over_seeds(MakeObjective make_objective, Runner run,
+                           TrueValue true_value, int seeds) {
+  Outcome outcome;
+  for (int s = 0; s < seeds; ++s) {
+    auto objective = make_objective(s);
+    const auto result = run(*objective, static_cast<std::uint64_t>(s + 1));
+    outcome.mean_best += result.best_value;
+    outcome.mean_true += true_value(*objective, result.best_point);
+    outcome.mean_evals += static_cast<double>(result.evaluations);
+  }
+  outcome.mean_best /= seeds;
+  outcome.mean_true /= seeds;
+  outcome.mean_evals /= seeds;
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                        static_cast<double>(n) * scale));
+  };
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_header(
+      "DFO baseline comparison at equal evaluation budget",
+      "the optimizer-selection rationale of paper §IV-E / [5]");
+  bench::Stopwatch watch;
+
+  constexpr std::size_t kBudget = 200;  // objective evaluations per run
+  constexpr int kSeeds = 5;
+
+  // ---------------- (a) synthetic BernoulliHill -------------------------
+  std::cout << "(a) BernoulliHill, dim 3, peak 0.6, N=100 per evaluation\n";
+  const std::vector<double> x0{0.2, 0.8, 0.2};
+  const auto make_hill = [](int) {
+    return std::make_unique<opt::BernoulliHill>(
+        std::vector<double>{0.75, 0.25, 0.6}, 0.6, 5.0, 100);
+  };
+  const auto hill_true = [](opt::Objective& objective,
+                            const std::vector<double>& point) {
+    return static_cast<opt::BernoulliHill&>(objective).hit_probability(point);
+  };
+
+  util::Table a_table({"Optimizer", "observed best", "true p at result",
+                       "mean evaluations"});
+  {
+    const auto outcome = average_over_seeds(
+        make_hill,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::ImplicitFilteringOptions options;
+          options.directions = 10;
+          options.max_iterations = 1000;
+          options.max_evaluations = kBudget;
+          options.min_step = 1e-6;
+          options.seed = seed;
+          return opt::implicit_filtering(objective, x0, options);
+        },
+        hill_true, kSeeds);
+    a_table.add_row({"implicit filtering",
+                     util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_hill,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::RandomSearchOptions options;
+          options.samples = kBudget;
+          options.seed = seed;
+          return opt::random_search(objective, options);
+        },
+        hill_true, kSeeds);
+    a_table.add_row({"random search", util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_hill,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::CoordinateSearchOptions options;
+          options.max_iterations = 1000;
+          options.max_evaluations = kBudget;
+          options.min_step = 1e-6;
+          options.seed = seed;
+          return opt::coordinate_search(objective, x0, options);
+        },
+        hill_true, kSeeds);
+    a_table.add_row({"coordinate search",
+                     util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_hill,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::NelderMeadOptions options;
+          options.max_iterations = 1000;
+          options.max_evaluations = kBudget;
+          options.tolerance = 0.0;  // run to the budget
+          options.seed = seed;
+          return opt::nelder_mead(objective, x0, options);
+        },
+        hill_true, kSeeds);
+    a_table.add_row({"nelder-mead", util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  a_table.render(std::cout, bench::use_color());
+
+  // ---------------- (b) real L3 bypass objective -------------------------
+  std::cout << "\n(b) L3 byp_reqs objective (approximated target, N="
+            << scaled(60) << " sims per evaluation, budget "
+            << scaled(120) << " evaluations)\n";
+  const duv::L3Cache l3;
+  batch::SimFarm farm;
+  const auto probe = farm.run(l3, l3.defaults(), scaled(2000), 31);
+  const auto target = neighbors::family_target(l3.space(), "byp_reqs", probe);
+  const auto suite = l3.suite();
+  const tgen::TestTemplate* seed_tmpl = nullptr;
+  for (const auto& tmpl : suite) {
+    if (tmpl.name() == "l3_nc_smoke") seed_tmpl = &tmpl;
+  }
+  if (seed_tmpl == nullptr) return 1;
+  const auto skeleton = cdg::Skeletonizer().skeletonize(*seed_tmpl);
+  const std::size_t l3_budget = scaled(120);
+  const std::size_t l3_sims = scaled(60);
+
+  // Common random start for the local methods.
+  util::Xoshiro256 start_rng(2024);
+  std::vector<double> l3_x0(skeleton.mark_count());
+  for (double& v : l3_x0) v = start_rng.uniform();
+
+  const auto make_l3 = [&](int) {
+    return std::make_unique<cdg::CdgObjective>(l3, farm, skeleton, target,
+                                               l3_sims);
+  };
+  // Clean assessment: 3000 fresh simulations of the returned template.
+  const auto l3_true = [&](opt::Objective&, const std::vector<double>& point) {
+    const auto tmpl = skeleton.instantiate("dfo_assess", point);
+    return target.value(farm.run(l3, tmpl, 3000, 0xA55E55ULL));
+  };
+  util::Table b_table({"Optimizer", "observed best T_N", "clean T_N at result",
+                       "mean evaluations"});
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::ImplicitFilteringOptions options;
+          options.directions = 10;
+          options.max_iterations = 1000;
+          options.max_evaluations = l3_budget;
+          options.min_step = 1e-6;
+          // The flow's configuration for template spaces (see
+          // FlowConfig): sparse directions, patient step halving.
+          options.direction_mode = opt::DirectionMode::kSparse;
+          options.halve_patience = 3;
+          options.initial_step = 0.4;
+          options.seed = seed;
+          return opt::implicit_filtering(objective, l3_x0, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"implicit filtering",
+                     util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::RandomSearchOptions options;
+          options.samples = l3_budget;
+          options.seed = seed;
+          return opt::random_search(objective, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"random search", util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::CoordinateSearchOptions options;
+          options.max_iterations = 1000;
+          options.max_evaluations = l3_budget;
+          options.min_step = 1e-6;
+          options.seed = seed;
+          return opt::coordinate_search(objective, l3_x0, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"coordinate search",
+                     util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::NelderMeadOptions options;
+          options.max_iterations = 1000;
+          options.max_evaluations = l3_budget;
+          options.tolerance = 0.0;
+          options.seed = seed;
+          return opt::nelder_mead(objective, l3_x0, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"nelder-mead", util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::CrossEntropyOptions options;
+          options.max_iterations = 1000;
+          options.max_evaluations = l3_budget;
+          options.population = 20;
+          options.elite = 4;
+          options.seed = seed;
+          return opt::cross_entropy(objective, l3_x0, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"cross-entropy", util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  {
+    const auto outcome = average_over_seeds(
+        make_l3,
+        [&](opt::Objective& objective, std::uint64_t seed) {
+          opt::SimulatedAnnealingOptions options;
+          options.max_evaluations = l3_budget;
+          options.seed = seed;
+          return opt::simulated_annealing(objective, l3_x0, options);
+        },
+        l3_true, 3);
+    b_table.add_row({"simulated annealing",
+                     util::format_number(outcome.mean_best, 4),
+                     util::format_number(outcome.mean_true, 4),
+                     util::format_number(outcome.mean_evals, 4)});
+  }
+  b_table.render(std::cout, bench::use_color());
+
+  std::cout << "\nTotal sims (L3 part): "
+            << util::format_count(farm.total_simulations())
+            << "  |  wall time: " << watch.seconds() << " s\n";
+  return 0;
+}

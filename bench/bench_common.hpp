@@ -1,0 +1,65 @@
+// Shared plumbing for the figure-reproduction benches: build the
+// "Before CDG" repository from a unit's regression suite, run the flow
+// with a paper-budget config, and print the standard report blocks.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "cdg/runner.hpp"
+#include "coverage/repository.hpp"
+#include "duv/duv.hpp"
+#include "neighbors/neighbors.hpp"
+#include "report/report.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ascdg::bench {
+
+/// Simulates every suite template `sims_per_template` times and returns
+/// the per-template repository — the paper's "mainstream unit
+/// simulation for several weeks" baseline, compressed.
+inline coverage::CoverageRepository build_before_repo(
+    const duv::Duv& duv, batch::SimFarm& farm, std::size_t sims_per_template,
+    std::uint64_t seed = 0xBEF0) {
+  coverage::CoverageRepository repo(duv.space().size());
+  const auto suite = duv.suite();
+  std::vector<batch::SimFarm::Job> jobs;
+  jobs.reserve(suite.size());
+  for (std::size_t j = 0; j < suite.size(); ++j) {
+    jobs.push_back({&suite[j], sims_per_template, seed + j});
+  }
+  const auto stats = farm.run_all(duv, jobs);
+  for (std::size_t j = 0; j < suite.size(); ++j) {
+    repo.record(suite[j].name(), stats[j]);
+  }
+  return repo;
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(std::string_view title, std::string_view paper_ref) {
+  std::cout << "\n=============================================================="
+               "==\n"
+            << title << "\n(reproduces " << paper_ref << ")\n"
+            << "================================================================"
+               "\n\n";
+}
+
+inline bool use_color() { return util::stdout_supports_color(); }
+
+}  // namespace ascdg::bench

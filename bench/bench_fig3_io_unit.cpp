@@ -1,0 +1,82 @@
+// Reproduces paper Fig. 3: "Hit statistics for a family of events in
+// one of the I/O units".
+//
+// Paper budgets: Before CDG 669,000 sims; Sampling 200 tests x 100 sims;
+// Optimization 7 iterations x 20 tests x 200 sims; Best test 10,000
+// sims. We use the same budgets except the iteration count: our merged
+// skeleton exposes 22 tunable settings, and the implicit-filtering
+// search needs ~25 iterations (the paper's Fig. 4 budget) to walk that
+// space to the deep tail; at 7 iterations it stops around crc_032.
+// The Before column simulates the unit's 10-template regression suite
+// 66,900 times each.
+//
+// Expected shape (not absolute numbers): the crc family starts with a
+// steep gradient (crc_004 well hit, crc_032 lightly, crc_064/096 never);
+// sampling nudges the tail, optimization turns most of it well-hit, and
+// the harvested best test dominates per-sim, with crc_096 still the
+// hardest.
+//
+// Pass a scale factor (0 < s <= 1) to shrink every budget for a quick
+// run: ./bench_fig3_io_unit 0.1
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "duv/io_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ascdg;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                        static_cast<double>(n) * scale));
+  };
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_header("AS-CDG on the I/O unit: crc_* family closure",
+                      "Fig. 3 of the paper");
+
+  const duv::IoUnit io;
+  batch::SimFarm farm;
+  bench::Stopwatch watch;
+
+  // Before CDG: 669,000 sims across the regression suite.
+  const auto repo =
+      bench::build_before_repo(io, farm, scaled(66900), 0xF1603);
+
+  const auto target =
+      neighbors::family_target(io.space(), "crc", repo.total());
+  std::cout << "Uncovered crc events before CDG: " << target.targets().size()
+            << '\n';
+
+  cdg::FlowConfig config;
+  config.sample_templates = scaled(200);
+  config.sample_sims = scaled(100);
+  config.opt_directions = 19;  // + center resample = 20 tests/iteration
+  config.opt_sims_per_point = scaled(200);
+  config.opt_max_iterations = 25;
+  config.opt_min_step = 1e-4;
+  config.harvest_sims = scaled(10000);
+  config.seed = 3;
+
+  cdg::CdgRunner runner(io, farm, config);
+  const auto suite = io.suite();
+  const auto result = runner.run(target, repo, suite);
+
+  std::cout << "Seed template (coarse search): " << result.seed_template
+            << "\n"
+            << report::phase_caption(result) << "\n\n";
+
+  const auto family = io.crc_family();
+  const std::vector<coverage::EventId> events(family.begin(), family.end());
+  report::phase_table(io.space(), events, result)
+      .render(std::cout, bench::use_color());
+
+  std::cout << "\nStatus summary per phase:\n";
+  report::status_table(io.space(), events, result)
+      .render(std::cout, bench::use_color());
+
+  std::cout << "\nHarvested test-template:\n"
+            << tgen::to_text(result.best_template) << '\n'
+            << "Total simulations: " << util::format_count(farm.total_simulations())
+            << "  |  wall time: " << watch.seconds() << " s\n";
+  return 0;
+}

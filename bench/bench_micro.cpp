@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark): throughput of every substrate the
+// flow leans on — DUV simulation, template parsing/instantiation,
+// sampler draws, TAC queries, coverage accumulation, and farm scaling.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "batch/sim_farm.hpp"
+#include "cdg/skeletonizer.hpp"
+#include "coverage/repository.hpp"
+#include "duv/ifu.hpp"
+#include "duv/io_unit.hpp"
+#include "duv/l3_cache.hpp"
+#include "stimgen/sampler.hpp"
+#include "tac/tac.hpp"
+#include "tgen/parser.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ascdg;
+
+void BM_IoUnitSimulate(benchmark::State& state) {
+  const duv::IoUnit io;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io.simulate(io.defaults(), seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IoUnitSimulate);
+
+void BM_L3CacheSimulate(benchmark::State& state) {
+  const duv::L3Cache l3;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l3.simulate(l3.defaults(), seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L3CacheSimulate);
+
+void BM_IfuSimulate(benchmark::State& state) {
+  const duv::Ifu ifu;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ifu.simulate(ifu.defaults(), seed++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_IfuSimulate);
+
+void BM_TemplateParse(benchmark::State& state) {
+  const std::string text = tgen::to_text(duv::IoUnit().defaults());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tgen::parse_template(text));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * text.size()));
+}
+BENCHMARK(BM_TemplateParse);
+
+void BM_SkeletonInstantiate(benchmark::State& state) {
+  const duv::IoUnit io;
+  const auto skel = cdg::Skeletonizer().skeletonize(io.defaults());
+  util::Xoshiro256 rng(1);
+  std::vector<double> weights(skel.mark_count());
+  for (auto _ : state) {
+    for (double& w : weights) w = rng.uniform();
+    benchmark::DoNotOptimize(skel.instantiate("probe", weights));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SkeletonInstantiate);
+
+void BM_SamplerWeightedDraw(benchmark::State& state) {
+  const duv::IoUnit io;
+  util::Xoshiro256 rng(1);
+  stimgen::ParameterSampler sampler(nullptr, io.defaults(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.draw("Cmd"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamplerWeightedDraw);
+
+void BM_SamplerRangeDraw(benchmark::State& state) {
+  const duv::IoUnit io;
+  util::Xoshiro256 rng(1);
+  stimgen::ParameterSampler sampler(nullptr, io.defaults(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.draw_range("GapDelay"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SamplerRangeDraw);
+
+void BM_CoverageRecord(benchmark::State& state) {
+  const duv::Ifu ifu;  // largest space (260+ events)
+  const auto vec = ifu.simulate(ifu.defaults(), 3);
+  coverage::SimStats stats(ifu.space().size());
+  for (auto _ : state) {
+    stats.record(vec);
+  }
+  benchmark::DoNotOptimize(stats);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoverageRecord);
+
+void BM_TacBestTemplates(benchmark::State& state) {
+  const duv::IoUnit io;
+  batch::SimFarm farm(2);
+  coverage::CoverageRepository repo(io.space().size());
+  for (const auto& tmpl : io.suite()) {
+    repo.record(tmpl.name(), farm.run(io, tmpl, 50, 1));
+  }
+  const tac::Tac tac_view(repo);
+  const auto family = io.crc_family();
+  const std::vector<coverage::EventId> events(family.begin(), family.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tac_view.best_templates(events, 3));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TacBestTemplates);
+
+void BM_FarmRun(benchmark::State& state) {
+  const duv::IoUnit io;
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(farm.run(io, io.defaults(), 256, seed++));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * 256));
+}
+BENCHMARK(BM_FarmRun)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_XoshiroU64(benchmark::State& state) {
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_XoshiroU64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ascdg::util::set_log_level(ascdg::util::LogLevel::kWarn);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Extension experiment A5 (paper §VI future work): "reduce the number
+// of simulations per event by using the same simulations for several
+// target events".
+//
+// Setup: three separate CDG problems on the I/O unit — hit crc_016,
+// crc_032, and crc_064 — each with its own approximated target. Two
+// strategies at equal per-target optimization budgets:
+//
+//   A. independent flows: each target pays its own sampling phase;
+//   B. shared sampling (run_multi_target): one sampling phase, each
+//      target re-scores the same sampled statistics for its own start.
+//
+// Expected shape: B saves (K-1) x sampling simulations while losing
+// little or nothing in harvested quality, because the sampling phase's
+// per-template statistics contain every target's evidence.
+//
+// Pass a scale factor for a quick run: ./bench_multi_target 0.25
+#include <cstdlib>
+
+#include "bench_common.hpp"
+#include "cdg/multi_target.hpp"
+#include "duv/io_unit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ascdg;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const auto scaled = [scale](std::size_t n) {
+    return std::max<std::size_t>(1, static_cast<std::size_t>(
+                                        static_cast<double>(n) * scale));
+  };
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::print_header(
+      "Extension: shared sampling across several targets",
+      "the future-work direction of paper §VI");
+
+  const duv::IoUnit io;
+  batch::SimFarm farm;
+  bench::Stopwatch watch;
+
+  const auto family = io.crc_family();
+  // Three related-but-distinct targets, each with its distance-weighted
+  // family backing.
+  const auto make_target = [&](std::size_t target_index) {
+    std::vector<tac::WeightedEvent> weighted;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const std::size_t dist = i > target_index ? i - target_index
+                                                : target_index - i;
+      weighted.push_back(
+          {family[i],
+           dist == 0 ? 2.0 : 1.0 / (1.0 + static_cast<double>(dist))});
+    }
+    return neighbors::ApproximatedTarget({family[target_index]},
+                                         std::move(weighted));
+  };
+  const std::vector<neighbors::ApproximatedTarget> targets{
+      make_target(2), make_target(3), make_target(4)};
+
+  // Seed: the merged template the coarse-grained search selects on this
+  // unit (crc smoke + long-gap pacing + mixed), built the same way
+  // CdgRunner::run merges the TAC top-3.
+  const auto suite = io.suite();
+  tgen::TestTemplate merged_seed("io_crc_smoke+io_crc_long_gap+io_mixed");
+  for (const char* name : {"io_crc_smoke", "io_crc_long_gap", "io_mixed"}) {
+    for (const auto& tmpl : suite) {
+      if (tmpl.name() != name) continue;
+      for (const auto& param : tmpl.parameters()) {
+        if (!merged_seed.contains(tgen::parameter_name(param))) {
+          merged_seed.add(param);
+        }
+      }
+    }
+  }
+  const tgen::TestTemplate* seed = &merged_seed;
+
+  cdg::FlowConfig config;
+  config.sample_templates = scaled(200);
+  config.sample_sims = scaled(100);
+  config.opt_directions = 12;
+  config.opt_sims_per_point = scaled(150);
+  config.opt_max_iterations = 20;
+  config.harvest_sims = scaled(4000);
+  config.seed = 8;
+
+  // --- A: independent flows ---------------------------------------------
+  const std::size_t sims_before_a = farm.total_simulations();
+  cdg::CdgRunner runner(io, farm, config);
+  std::vector<double> independent_quality;
+  for (const auto& target : targets) {
+    const auto result = runner.run_from_template(target, *seed);
+    independent_quality.push_back(
+        target.real_value(result.harvest_phase.stats));
+  }
+  const std::size_t independent_sims = farm.total_simulations() - sims_before_a;
+
+  // --- B: shared sampling --------------------------------------------------
+  const std::size_t sims_before_b = farm.total_simulations();
+  const auto shared = cdg::run_multi_target(io, farm, config, targets, *seed);
+  const std::size_t shared_sims = farm.total_simulations() - sims_before_b;
+
+  util::Table table({"Target", "independent: real value",
+                     "shared sampling: real value"});
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    table.add_row(
+        {io.space().name(targets[t].targets()[0]),
+         util::format_number(independent_quality[t], 4),
+         util::format_number(targets[t].real_value(
+                                 shared.per_target[t].harvest_phase.stats),
+                             4)});
+  }
+  table.render(std::cout, bench::use_color());
+
+  std::cout << "\nSimulation cost for " << targets.size() << " targets:\n"
+            << "  independent flows: " << util::format_count(independent_sims)
+            << " sims\n"
+            << "  shared sampling:   " << util::format_count(shared_sims)
+            << " sims (saved "
+            << util::format_count(shared.sims_saved)
+            << " by reusing the sampling phase)\n"
+            << "Wall time: " << watch.seconds() << " s\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Coverage closure on the L3 cache's bypass-tracker family — the
+// scenario of the paper's Fig. 4: a 16-event buffer-fill family
+// (byp_reqs01..byp_reqs16) where the regression suite covers only the
+// shallow end. Also prints the optimization-progress trace (Fig. 6).
+//
+//   $ ./l3_bypass_closure [before_sims_per_template]
+#include <cstdlib>
+#include <iostream>
+
+#include "batch/sim_farm.hpp"
+#include "cdg/runner.hpp"
+#include "duv/l3_cache.hpp"
+#include "neighbors/neighbors.hpp"
+#include "report/report.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ascdg;
+  const std::size_t before_sims =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
+
+  const duv::L3Cache l3;
+  batch::SimFarm farm;
+
+  // Mainstream regression: every suite template, many sims each.
+  coverage::CoverageRepository repo(l3.space().size());
+  const auto suite = l3.suite();
+  {
+    std::vector<batch::SimFarm::Job> jobs;
+    for (std::size_t j = 0; j < suite.size(); ++j) {
+      jobs.push_back({&suite[j], before_sims, 7000 + j});
+    }
+    const auto stats = farm.run_all(l3, jobs);
+    for (std::size_t j = 0; j < suite.size(); ++j) {
+      repo.record(suite[j].name(), stats[j]);
+    }
+  }
+
+  const auto target =
+      neighbors::family_target(l3.space(), "byp_reqs", repo.total());
+  std::cout << target.targets().size()
+            << " byp_reqs events are uncovered after "
+            << util::format_count(repo.total_sims()) << " regression sims\n\n";
+
+  // Paper Fig. 4 budgets (scaled by default; pass a larger before_sims
+  // to approach the paper's 1M-sim baseline).
+  cdg::FlowConfig config;
+  config.sample_templates = 210;
+  config.sample_sims = 100;
+  config.opt_directions = 12;
+  config.opt_sims_per_point = 100;
+  config.opt_max_iterations = 25;
+  config.harvest_sims = 15000;
+  cdg::CdgRunner runner(l3, farm, config);
+  const auto result = runner.run(target, repo, suite);
+
+  const auto family = l3.byp_family();
+  const std::vector<coverage::EventId> events(family.begin(), family.end());
+  const bool color = util::stdout_supports_color();
+
+  std::cout << report::phase_caption(result) << "\n\n";
+  report::phase_table(l3.space(), events, result).render(std::cout, color);
+
+  std::cout << "\nOptimization progress (max target value per iteration, "
+               "cf. paper Fig. 6):\n";
+  report::render_trace(std::cout, result.optimization);
+
+  std::cout << "\nHarvested test-template (add this to the regression "
+               "suite):\n"
+            << tgen::to_text(result.best_template);
+  std::cout << "\nTotal simulations executed by the farm: "
+            << util::format_count(farm.total_simulations()) << '\n';
+  return 0;
+}

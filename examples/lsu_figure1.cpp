@@ -1,0 +1,68 @@
+// The paper's Fig. 1, end to end: take the exact lsu_stress template
+// from the figure, skeletonize it (showing the figure's (a) -> (b)
+// transformation), and run the fine-grained search to push the
+// store-forwarding queue family to depth 12.
+//
+//   $ ./lsu_figure1
+#include <iostream>
+
+#include "batch/sim_farm.hpp"
+#include "cdg/runner.hpp"
+#include "duv/lsu.hpp"
+#include "neighbors/neighbors.hpp"
+#include "report/report.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using namespace ascdg;
+
+  const duv::Lsu lsu;
+  batch::SimFarm farm;
+
+  // The figure's template is part of the unit's regression suite.
+  const auto suite = lsu.suite();
+  const tgen::TestTemplate* lsu_stress = nullptr;
+  for (const auto& tmpl : suite) {
+    if (tmpl.name() == "lsu_stress") lsu_stress = &tmpl;
+  }
+  if (lsu_stress == nullptr) return 1;
+
+  std::cout << "Fig. 1(a) — the test-template:\n"
+            << tgen::to_text(*lsu_stress) << '\n';
+
+  const cdg::Skeletonizer skeletonizer;
+  const auto skeleton = skeletonizer.skeletonize(*lsu_stress);
+  std::cout << "Fig. 1(b) — the skeleton (note: add keeps its zero "
+               "weight; the range became weighted subranges):\n"
+            << tgen::to_text(skeleton) << '\n';
+
+  // Before CDG: the full suite.
+  coverage::CoverageRepository repo(lsu.space().size());
+  for (std::size_t j = 0; j < suite.size(); ++j) {
+    repo.record(suite[j].name(), farm.run(lsu, suite[j], 2500, 500 + j));
+  }
+  const auto target =
+      neighbors::family_target(lsu.space(), "lsu_fwdq", repo.total());
+  std::cout << "Uncovered forwarding-depth events: " << target.targets().size()
+            << "\n\n";
+
+  cdg::FlowConfig config;
+  config.sample_templates = 150;
+  config.sample_sims = 60;
+  config.opt_directions = 12;
+  config.opt_sims_per_point = 120;
+  config.opt_max_iterations = 15;
+  config.harvest_sims = 4000;
+  cdg::CdgRunner runner(lsu, farm, config);
+  const auto result = runner.run(target, repo, suite);
+
+  const auto family = lsu.fwdq_family();
+  const std::vector<coverage::EventId> events(family.begin(), family.end());
+  std::cout << "Seed template (coarse search): " << result.seed_template
+            << "\n\n";
+  report::phase_table(lsu.space(), events, result)
+      .render(std::cout, util::stdout_supports_color());
+  std::cout << "\nHarvested test-template:\n"
+            << tgen::to_text(result.best_template);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// A tour of the template DSL and the Skeletonizer (paper Fig. 1):
+// parse a test-template, skeletonize it with different options, and
+// instantiate the skeleton at a few points of the search space. Useful
+// for understanding exactly what the fine-grained search tunes.
+//
+//   $ ./skeletonizer_tour
+#include <iostream>
+
+#include "cdg/skeletonizer.hpp"
+#include "tgen/parser.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace ascdg;
+
+  // The paper's Fig. 1(a) test-template.
+  const auto tmpl = tgen::parse_template(R"(
+    # Stress the load-store unit.
+    template lsu_stress {
+      weight Mnemonic { load: 40, store: 40, add: 0, sync: 20 }
+      range CacheDelay [0, 1000]
+    }
+  )");
+  std::cout << "Original test-template:\n" << tgen::to_text(tmpl) << '\n';
+
+  // Default skeletonization: positive weights marked, zero weights kept,
+  // ranges split into 4 uniform subranges.
+  const cdg::Skeletonizer default_skeletonizer;
+  const auto skel = default_skeletonizer.skeletonize(tmpl);
+  std::cout << "Skeleton (cf. paper Fig. 1(b)):\n" << tgen::to_text(skel);
+  std::cout << "Marks, in search-space order:\n";
+  for (const auto& mark : skel.marks()) {
+    std::cout << "  " << mark.to_string() << '\n';
+  }
+  std::cout << '\n';
+
+  // Geometric subranges + marked zero weights.
+  cdg::SkeletonizerOptions options;
+  options.subranges = 5;
+  options.spacing = cdg::SubrangeSpacing::kGeometric;
+  options.mark_zero_weights = true;
+  const auto skel2 = cdg::Skeletonizer(options).skeletonize(tmpl);
+  std::cout << "Skeleton with geometric subranges and marked zeros:\n"
+            << tgen::to_text(skel2) << '\n';
+
+  // Instantiate at a few points of [0,1]^d: this is exactly what the
+  // CDG-Runner does during random sampling and optimization.
+  std::cout << "Instantiation at favor-short-delays point:\n";
+  std::vector<double> favor_short(skel.mark_count(), 0.05);
+  favor_short[0] = 1.0;  // Mnemonic[load]
+  favor_short[3] = 1.0;  // CacheDelay[0..250]
+  std::cout << tgen::to_text(skel.instantiate("short_delays", favor_short))
+            << '\n';
+
+  std::cout << "Random instantiations:\n";
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<double> point(skel.mark_count());
+    for (double& w : point) w = rng.uniform();
+    std::cout << tgen::to_text(
+        skel.instantiate("random_" + std::to_string(i), point));
+  }
+  return 0;
+}

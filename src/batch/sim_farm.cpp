@@ -1,0 +1,125 @@
+#include "batch/sim_farm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::batch {
+
+namespace {
+/// Simulations per work chunk: large enough to amortize queue overhead,
+/// small enough to load-balance across workers.
+constexpr std::size_t kChunk = 64;
+}  // namespace
+
+SimFarm::SimFarm(std::size_t num_threads) {
+  std::size_t n = num_threads != 0 ? num_threads
+                                   : std::max<std::size_t>(
+                                         1, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SimFarm::~SimFarm() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void SimFarm::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void SimFarm::enqueue(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ASCDG_ASSERT(!stopping_, "enqueue on a stopping farm");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+coverage::SimStats SimFarm::run(const duv::Duv& duv,
+                                const tgen::TestTemplate& tmpl,
+                                std::size_t count, std::uint64_t seed_root) {
+  const Job job{&tmpl, count, seed_root};
+  auto results = run_all(duv, std::span<const Job>(&job, 1));
+  return std::move(results.front());
+}
+
+std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
+                                                 std::span<const Job> jobs) {
+  struct ChunkResult {
+    coverage::SimStats stats;
+    std::size_t job_index = 0;
+  };
+
+  // Completion tracking shared by all chunks of this call.
+  struct Pending {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::vector<ChunkResult> results;
+  };
+  auto pending = std::make_shared<Pending>();
+
+  std::size_t chunk_count = 0;
+  for (const Job& job : jobs) {
+    ASCDG_ASSERT(job.tmpl != nullptr, "job with null template");
+    chunk_count += (job.count + kChunk - 1) / kChunk;
+  }
+  pending->remaining = chunk_count;
+  pending->results.reserve(chunk_count);
+
+  const std::size_t event_count = duv.space().size();
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
+    const util::SeedStream seeds(job.seed_root);
+    for (std::size_t begin = 0; begin < job.count; begin += kChunk) {
+      const std::size_t end = std::min(begin + kChunk, job.count);
+      enqueue([this, &duv, job, j, begin, end, seeds, event_count, pending] {
+        coverage::SimStats stats(event_count);
+        for (std::size_t i = begin; i < end; ++i) {
+          stats.record(duv.simulate(*job.tmpl, seeds.at(i)));
+        }
+        total_sims_.fetch_add(end - begin, std::memory_order_relaxed);
+        {
+          const std::scoped_lock lock(pending->mutex);
+          pending->results.push_back({std::move(stats), j});
+          --pending->remaining;
+        }
+        pending->cv.notify_one();
+      });
+    }
+  }
+
+  // Zero-chunk edge case (all jobs have count 0) falls straight through.
+  {
+    std::unique_lock lock(pending->mutex);
+    pending->cv.wait(lock, [&] { return pending->remaining == 0; });
+  }
+
+  std::vector<coverage::SimStats> out(jobs.size(), coverage::SimStats(event_count));
+  for (auto& chunk : pending->results) {
+    out[chunk.job_index].merge(chunk.stats);
+  }
+  return out;
+}
+
+}  // namespace ascdg::batch

@@ -1,0 +1,80 @@
+// The batch simulation environment (paper Fig. 2: "Batch env").
+//
+// The CDG-Runner "sends the templates to the batch environment for
+// simulation [and] collects the coverage data". SimFarm is that
+// environment: a persistent worker pool that simulates N test-instances
+// of a template and accumulates the per-event hit counts.
+//
+// Determinism: the seed of instance i of a run is a pure function of
+// (seed_root, i) via a SeedStream, and hit-count accumulation is
+// commutative, so results are bit-identical for any worker count.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "coverage/repository.hpp"
+#include "duv/duv.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::batch {
+
+class SimFarm {
+ public:
+  /// `num_threads` == 0 selects std::thread::hardware_concurrency().
+  explicit SimFarm(std::size_t num_threads = 0);
+  ~SimFarm();
+
+  SimFarm(const SimFarm&) = delete;
+  SimFarm& operator=(const SimFarm&) = delete;
+
+  /// Simulates `count` instances of `tmpl` on `duv` with instance seeds
+  /// derived from `seed_root`; returns the accumulated statistics.
+  /// Blocks until complete. Thread-safe for concurrent callers.
+  [[nodiscard]] coverage::SimStats run(const duv::Duv& duv,
+                                       const tgen::TestTemplate& tmpl,
+                                       std::size_t count,
+                                       std::uint64_t seed_root);
+
+  /// A batch job: one template simulated `count` times.
+  struct Job {
+    const tgen::TestTemplate* tmpl = nullptr;
+    std::size_t count = 0;
+    std::uint64_t seed_root = 0;
+  };
+
+  /// Runs all jobs (interleaved across the pool); results are returned
+  /// in job order.
+  [[nodiscard]] std::vector<coverage::SimStats> run_all(
+      const duv::Duv& duv, std::span<const Job> jobs);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Total simulations executed by this farm since construction — the
+  /// paper's cost metric ("number of simulations").
+  [[nodiscard]] std::size_t total_simulations() const noexcept {
+    return total_sims_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<std::size_t> total_sims_{0};
+};
+
+}  // namespace ascdg::batch

@@ -1,0 +1,42 @@
+#include "cdg/cdg_objective.hpp"
+
+#include "util/error.hpp"
+
+namespace ascdg::cdg {
+
+CdgObjective::CdgObjective(const duv::Duv& duv, batch::SimFarm& farm,
+                           const tgen::Skeleton& skeleton,
+                           const neighbors::ApproximatedTarget& target,
+                           std::size_t sims_per_point)
+    : duv_(&duv),
+      farm_(&farm),
+      skeleton_(&skeleton),
+      target_(&target),
+      sims_per_point_(sims_per_point),
+      combined_(duv.space().size()) {
+  if (sims_per_point_ == 0) {
+    throw util::ConfigError("CdgObjective needs sims_per_point >= 1");
+  }
+  if (skeleton_->mark_count() == 0) {
+    throw util::ConfigError("CdgObjective over a skeleton with no marks");
+  }
+}
+
+double CdgObjective::evaluate(std::span<const double> x,
+                              std::uint64_t eval_seed) {
+  const tgen::TestTemplate tmpl = skeleton_->instantiate(
+      skeleton_->name() + "_probe" + std::to_string(evals_), x);
+  const coverage::SimStats stats =
+      farm_->run(*duv_, tmpl, sims_per_point_, eval_seed);
+  sims_ += stats.sims();
+  ++evals_;
+  combined_.merge(stats);
+  const double value = target_->value(stats);
+  if (!has_best() || value > best_value_) {
+    best_value_ = value;
+    best_point_.assign(x.begin(), x.end());
+  }
+  return value;
+}
+
+}  // namespace ascdg::cdg

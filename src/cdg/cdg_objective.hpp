@@ -1,0 +1,62 @@
+// Adapter that exposes the CDG problem as an opt::Objective: a point in
+// [0,1]^d is a weight assignment for the skeleton's marks; evaluating it
+// instantiates a test-template, simulates it N times on the batch farm,
+// and returns the empirical approximated-target value T_N(t).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "batch/sim_farm.hpp"
+#include "neighbors/neighbors.hpp"
+#include "opt/objective.hpp"
+#include "tgen/skeleton.hpp"
+
+namespace ascdg::cdg {
+
+class CdgObjective final : public opt::Objective {
+ public:
+  /// All referenced objects must outlive the objective.
+  CdgObjective(const duv::Duv& duv, batch::SimFarm& farm,
+               const tgen::Skeleton& skeleton,
+               const neighbors::ApproximatedTarget& target,
+               std::size_t sims_per_point);
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return skeleton_->mark_count();
+  }
+
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override;
+
+  /// Simulations run through this objective so far (= evaluations * N).
+  [[nodiscard]] std::size_t simulations() const noexcept { return sims_; }
+
+  /// Coverage accumulated across every evaluation — the paper's
+  /// "Optimization phase" hit-statistics column aggregates exactly this.
+  [[nodiscard]] const coverage::SimStats& combined() const noexcept {
+    return combined_;
+  }
+
+  /// Best point seen so far by approximated-target value, with its stats.
+  [[nodiscard]] const std::vector<double>& best_point() const noexcept {
+    return best_point_;
+  }
+  [[nodiscard]] double best_value() const noexcept { return best_value_; }
+  [[nodiscard]] bool has_best() const noexcept { return !best_point_.empty(); }
+
+ private:
+  const duv::Duv* duv_;
+  batch::SimFarm* farm_;
+  const tgen::Skeleton* skeleton_;
+  const neighbors::ApproximatedTarget* target_;
+  std::size_t sims_per_point_;
+  std::size_t sims_ = 0;
+  std::size_t evals_ = 0;
+  coverage::SimStats combined_;
+  std::vector<double> best_point_;
+  double best_value_ = 0.0;
+};
+
+}  // namespace ascdg::cdg

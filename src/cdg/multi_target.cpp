@@ -1,0 +1,102 @@
+#include "cdg/multi_target.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ascdg::cdg {
+
+std::size_t best_sample_for(const RandomSampleResult& sampling,
+                            const neighbors::ApproximatedTarget& target) {
+  ASCDG_ASSERT(!sampling.samples.empty(), "empty sampling result");
+  std::size_t best = 0;
+  double best_value = target.value(sampling.samples[0].stats);
+  for (std::size_t i = 1; i < sampling.samples.size(); ++i) {
+    const double value = target.value(sampling.samples[i].stats);
+    if (value > best_value) {
+      best_value = value;
+      best = i;
+    }
+  }
+  return best;
+}
+
+MultiTargetResult run_multi_target(
+    const duv::Duv& duv, batch::SimFarm& farm, const FlowConfig& config,
+    std::span<const neighbors::ApproximatedTarget> targets,
+    const tgen::TestTemplate& seed_template) {
+  if (targets.empty()) {
+    throw util::ConfigError("multi-target flow needs at least one target");
+  }
+  CdgRunner runner(duv, farm, config);
+
+  // --- Shared phases: skeletonize once, sample once ---------------------
+  const Skeletonizer skeletonizer(config.skeletonizer);
+  const tgen::Skeleton skeleton = skeletonizer.skeletonize(seed_template);
+
+  RandomSampleOptions sample_options;
+  sample_options.templates = config.sample_templates;
+  sample_options.sims_per_template = config.sample_sims;
+  sample_options.seed = config.seed ^ 0x5A4D91E5ULL;
+  // Score against the first target just to fill the field; every target
+  // re-scores below from the retained per-sample stats.
+  MultiTargetResult result;
+  result.sampling =
+      random_sample(duv, farm, skeleton, targets[0], sample_options);
+  util::log_info("multi-target: shared sampling of ",
+                 result.sampling.simulations, " sims for ", targets.size(),
+                 " targets");
+
+  // --- Per-target optimization + harvest --------------------------------
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const auto& target = targets[t];
+    FlowResult flow;
+    flow.seed_template = seed_template.name();
+    flow.skeleton = skeleton;
+    flow.before.name = "Before CDG";
+    flow.before.stats = coverage::SimStats(duv.space().size());
+
+    flow.sampling = result.sampling;
+    flow.sampling.best_index = best_sample_for(result.sampling, target);
+    // Attribute the shared cost once (to the first target).
+    flow.sampling_phase = {"Sampling phase",
+                           t == 0 ? result.sampling.simulations : 0,
+                           result.sampling.combined};
+
+    CdgObjective objective(duv, farm, skeleton, target,
+                           config.opt_sims_per_point);
+    opt::ImplicitFilteringOptions if_options;
+    if_options.directions = config.opt_directions;
+    if_options.initial_step = config.opt_initial_step;
+    if_options.min_step = config.opt_min_step;
+    if_options.max_iterations = config.opt_max_iterations;
+    if_options.resample_center = config.opt_resample_center;
+    if_options.direction_mode = config.opt_direction_mode;
+    if_options.halve_patience = config.opt_halve_patience;
+    if_options.target_value = config.opt_target_value;
+    if_options.seed = config.seed ^ (0x3417A00ULL + t);
+    flow.optimization = opt::implicit_filtering(
+        objective, flow.sampling.best().point, if_options);
+    flow.optimization_phase = {"Optimization phase", objective.simulations(),
+                               objective.combined()};
+
+    flow.best_template = skeleton.instantiate(
+        seed_template.name() + "_cdg_best_t" + std::to_string(t),
+        flow.optimization.best_point);
+    flow.harvest_phase.name = "Running best test";
+    if (config.harvest_sims > 0) {
+      flow.harvest_phase.stats =
+          farm.run(duv, flow.best_template, config.harvest_sims,
+                   config.seed ^ (0x4A12E00ULL + t));
+      flow.harvest_phase.sims = config.harvest_sims;
+    } else {
+      flow.harvest_phase.stats = coverage::SimStats(duv.space().size());
+    }
+    result.per_target.push_back(std::move(flow));
+  }
+
+  result.sims_saved =
+      (targets.size() - 1) * result.sampling.simulations;
+  return result;
+}
+
+}  // namespace ascdg::cdg

@@ -1,0 +1,57 @@
+#include "cdg/random_sample.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::cdg {
+
+RandomSampleResult random_sample(const duv::Duv& duv, batch::SimFarm& farm,
+                                 const tgen::Skeleton& skeleton,
+                                 const neighbors::ApproximatedTarget& target,
+                                 const RandomSampleOptions& options) {
+  if (options.templates == 0 || options.sims_per_template == 0) {
+    throw util::ConfigError("random sample needs a non-zero budget");
+  }
+  const std::size_t dim = skeleton.mark_count();
+  if (dim == 0) {
+    throw util::ConfigError("random sample over a skeleton with no marks");
+  }
+
+  util::Xoshiro256 rng(options.seed);
+  util::SeedStream job_seeds(options.seed ^ 0x5A3B1E5EEDULL);
+
+  // Generate the n random templates up front, then batch them through
+  // the farm in one run_all so the pool stays saturated.
+  std::vector<std::vector<double>> points(options.templates);
+  std::vector<tgen::TestTemplate> templates;
+  templates.reserve(options.templates);
+  for (std::size_t t = 0; t < options.templates; ++t) {
+    points[t].resize(dim);
+    for (double& w : points[t]) w = rng.uniform();
+    templates.push_back(skeleton.instantiate(
+        skeleton.name() + "_rand" + std::to_string(t), points[t]));
+  }
+
+  std::vector<batch::SimFarm::Job> jobs;
+  jobs.reserve(options.templates);
+  for (std::size_t t = 0; t < options.templates; ++t) {
+    jobs.push_back({&templates[t], options.sims_per_template, job_seeds.next()});
+  }
+  auto stats = farm.run_all(duv, jobs);
+
+  RandomSampleResult result;
+  result.combined = coverage::SimStats(duv.space().size());
+  result.samples.reserve(options.templates);
+  for (std::size_t t = 0; t < options.templates; ++t) {
+    const double value = target.value(stats[t]);
+    result.combined.merge(stats[t]);
+    result.samples.push_back({std::move(points[t]), std::move(stats[t]), value});
+    if (value > result.samples[result.best_index].target_value) {
+      result.best_index = t;
+    }
+  }
+  result.simulations = options.templates * options.sims_per_template;
+  return result;
+}
+
+}  // namespace ascdg::cdg

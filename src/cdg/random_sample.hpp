@@ -1,0 +1,47 @@
+// The random-sampling phase (paper §IV-D): instantiate n random
+// test-templates that uniformly span the skeleton's marks, simulate N
+// instances of each, and use the empirical approximated-target values
+// to pick the starting point for the optimizer. "This good starting
+// point can save the optimization algorithm many iterations of
+// wandering in an almost flat area."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "neighbors/neighbors.hpp"
+#include "tgen/skeleton.hpp"
+
+namespace ascdg::cdg {
+
+struct RandomSampleOptions {
+  std::size_t templates = 200;        ///< n — random templates
+  std::size_t sims_per_template = 100;  ///< N — instances per template
+  std::uint64_t seed = 1;
+};
+
+/// One sampled template: its mark weights, per-event stats, and score.
+struct Sample {
+  std::vector<double> point;
+  coverage::SimStats stats;
+  double target_value = 0.0;
+};
+
+struct RandomSampleResult {
+  std::vector<Sample> samples;     ///< in generation order
+  std::size_t best_index = 0;      ///< argmax of target_value
+  coverage::SimStats combined;     ///< union over the whole phase
+  std::size_t simulations = 0;     ///< n * N
+
+  [[nodiscard]] const Sample& best() const { return samples[best_index]; }
+};
+
+/// Runs the random-sampling phase. Throws util::ConfigError for a zero
+/// template/sim budget or a skeleton without marks.
+[[nodiscard]] RandomSampleResult random_sample(
+    const duv::Duv& duv, batch::SimFarm& farm, const tgen::Skeleton& skeleton,
+    const neighbors::ApproximatedTarget& target,
+    const RandomSampleOptions& options);
+
+}  // namespace ascdg::cdg

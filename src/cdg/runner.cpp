@@ -1,0 +1,192 @@
+#include "cdg/runner.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace ascdg::cdg {
+
+CdgRunner::CdgRunner(const duv::Duv& duv, batch::SimFarm& farm,
+                     FlowConfig config)
+    : duv_(&duv), farm_(&farm), config_(config) {
+  if (config_.sample_templates == 0 || config_.sample_sims == 0) {
+    throw util::ConfigError("flow config: sampling budget must be non-zero");
+  }
+  if (config_.opt_directions == 0 || config_.opt_sims_per_point == 0) {
+    throw util::ConfigError("flow config: optimization budget must be non-zero");
+  }
+}
+
+std::vector<tac::TemplateScore> coarse_search(
+    const neighbors::ApproximatedTarget& target,
+    const coverage::CoverageRepository& before, std::size_t n) {
+  const tac::Tac tac_view(before);
+  auto ranked = tac_view.best_templates(target.events(), n);
+  if (ranked.empty()) {
+    throw util::NotFoundError(
+        "coarse search: no existing template hits any neighbor of the target");
+  }
+  return ranked;
+}
+
+FlowResult CdgRunner::run(const neighbors::ApproximatedTarget& target,
+                          const coverage::CoverageRepository& before,
+                          std::span<const tgen::TestTemplate> suite_templates) {
+  const auto ranked =
+      coarse_search(target, before, std::max<std::size_t>(
+                                        1, config_.coarse_best_templates));
+  // Resolve the ranked names to template objects and merge their
+  // parameters into one seed template (paper §IV-B: "find the best n
+  // test-templates that hit these events. The parameters in these
+  // test-templates are selected to be the ones used in the fine-grained
+  // search."). On a name clash the higher-ranked template wins.
+  tgen::TestTemplate seed;
+  std::vector<std::string> merged_names;
+  for (const auto& candidate : ranked) {
+    for (const auto& tmpl : suite_templates) {
+      if (tmpl.name() != candidate.name) continue;
+      merged_names.push_back(tmpl.name());
+      for (const auto& param : tmpl.parameters()) {
+        if (!seed.contains(parameter_name(param))) seed.add(param);
+      }
+      break;
+    }
+  }
+  if (merged_names.empty()) {
+    throw util::NotFoundError(
+        "coarse search: none of the ranked templates ('" + ranked.front().name +
+        "', ...) resolve to a known template object");
+  }
+  seed.set_name(util::join(merged_names, "+"));
+  util::log_info("coarse search selected template(s) '", seed.name(),
+                 "' (top score ", ranked.front().score, ")");
+
+  const coverage::SimStats before_total = before.total();
+  if (config_.expand_target_by_correlation) {
+    const neighbors::CorrelationExpansion expansion(
+        before, config_.correlation_min_similarity);
+    const auto expanded = expansion.expand(target);
+    util::log_info("correlation expansion: ", target.events().size(), " -> ",
+                   expanded.events().size(), " objective events");
+    return run_from_template(expanded, seed, &before_total,
+                             before.total_sims());
+  }
+  return run_from_template(target, seed, &before_total, before.total_sims());
+}
+
+FlowResult CdgRunner::run_from_template(
+    const neighbors::ApproximatedTarget& target,
+    const tgen::TestTemplate& seed_template,
+    const coverage::SimStats* before_stats, std::size_t before_sims) {
+  FlowResult result;
+  result.seed_template = seed_template.name();
+
+  result.before.name = "Before CDG";
+  if (before_stats != nullptr) {
+    result.before.stats = *before_stats;
+    result.before.sims = before_sims != 0 ? before_sims : before_stats->sims();
+  } else {
+    result.before.stats = coverage::SimStats(duv_->space().size());
+  }
+
+  // --- Skeletonize ------------------------------------------------------
+  const Skeletonizer skeletonizer(config_.skeletonizer);
+  result.skeleton = skeletonizer.skeletonize(seed_template);
+  util::log_info("skeletonized '", seed_template.name(), "' -> ",
+                 result.skeleton.mark_count(), " marks");
+
+  // --- Random sampling phase (§IV-D) -------------------------------------
+  RandomSampleOptions sample_options;
+  sample_options.templates = config_.sample_templates;
+  sample_options.sims_per_template = config_.sample_sims;
+  sample_options.seed = config_.seed ^ 0x5A4D91E5ULL;
+  result.sampling =
+      random_sample(*duv_, *farm_, result.skeleton, target, sample_options);
+  result.sampling_phase = {"Sampling phase", result.sampling.simulations,
+                           result.sampling.combined};
+  util::log_info("sampling phase: best target value ",
+                 result.sampling.best().target_value, " over ",
+                 result.sampling.simulations, " sims");
+
+  // --- Optimization phase (§IV-E) ----------------------------------------
+  CdgObjective objective(*duv_, *farm_, result.skeleton, target,
+                         config_.opt_sims_per_point);
+  opt::ImplicitFilteringOptions if_options;
+  if_options.directions = config_.opt_directions;
+  if_options.initial_step = config_.opt_initial_step;
+  if_options.min_step = config_.opt_min_step;
+  if_options.max_iterations = config_.opt_max_iterations;
+  if_options.resample_center = config_.opt_resample_center;
+  if_options.direction_mode = config_.opt_direction_mode;
+  if_options.halve_patience = config_.opt_halve_patience;
+  if_options.target_value = config_.opt_target_value;
+  if_options.seed = config_.seed ^ 0x0B71417EULL;
+  result.optimization = opt::implicit_filtering(
+      objective, result.sampling.best().point, if_options);
+  result.optimization_phase = {"Optimization phase", objective.simulations(),
+                               objective.combined()};
+  util::log_info("optimization: ", result.optimization.trace.size(),
+                 " iterations, best value ", result.optimization.best_value,
+                 " (", to_string(result.optimization.reason), ")");
+
+  std::vector<double> best_point = result.optimization.best_point;
+
+  // --- Refinement with the real objective (§IV-E) -------------------------
+  if (config_.refine_with_real_target && !target.targets().empty()) {
+    // Probe the optimized point for real-target evidence.
+    const tgen::TestTemplate probe_tmpl =
+        result.skeleton.instantiate("cdg_refine_probe", best_point);
+    const coverage::SimStats probe = farm_->run(
+        *duv_, probe_tmpl, config_.opt_sims_per_point,
+        config_.seed ^ 0x5EF1A37EULL);
+    result.optimization_phase.sims += probe.sims();
+    result.optimization_phase.stats.merge(probe);
+    const double evidence = target.real_value(probe);
+    if (evidence >= config_.refine_threshold) {
+      // The real objective: the target events themselves, unit weights.
+      std::vector<tac::WeightedEvent> raw;
+      raw.reserve(target.targets().size());
+      for (const auto event : target.targets()) raw.push_back({event, 1.0});
+      const neighbors::ApproximatedTarget real_target(target.targets(),
+                                                      std::move(raw));
+      CdgObjective refine_objective(*duv_, *farm_, result.skeleton,
+                                    real_target, config_.opt_sims_per_point);
+      if_options.max_iterations = config_.refine_max_iterations;
+      if_options.seed = config_.seed ^ 0x5EF15EEDULL;
+      result.refinement =
+          opt::implicit_filtering(refine_objective, best_point, if_options);
+      result.optimization_phase.sims += refine_objective.simulations();
+      result.optimization_phase.stats.merge(refine_objective.combined());
+      if (result.refinement->best_value > evidence) {
+        best_point = result.refinement->best_point;
+      }
+      util::log_info("refinement: real-objective best ",
+                     result.refinement->best_value, " (evidence was ",
+                     evidence, ")");
+    } else {
+      util::log_info("refinement skipped: real-target evidence ", evidence,
+                     " below threshold ", config_.refine_threshold);
+    }
+  }
+
+  // --- Harvest (§IV-F) -----------------------------------------------------
+  result.best_template = result.skeleton.instantiate(
+      seed_template.name() + "_cdg_best", best_point);
+  result.harvest_phase.name = "Running best test";
+  if (config_.harvest_sims > 0) {
+    result.harvest_phase.stats = farm_->run(
+        *duv_, result.best_template, config_.harvest_sims,
+        config_.seed ^ 0x4A12E57EDULL);
+    result.harvest_phase.sims = config_.harvest_sims;
+    util::log_info("harvest: real target value ",
+                   target.real_value(result.harvest_phase.stats), " over ",
+                   config_.harvest_sims, " sims");
+  } else {
+    result.harvest_phase.stats = coverage::SimStats(duv_->space().size());
+  }
+  return result;
+}
+
+}  // namespace ascdg::cdg

@@ -1,0 +1,102 @@
+#include "cdg/skeletonizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ascdg::cdg {
+
+using util::ConfigError;
+using util::ValidationError;
+
+Skeletonizer::Skeletonizer(SkeletonizerOptions options) : options_(options) {
+  if (options_.subranges == 0) {
+    throw ConfigError("skeletonizer needs at least one subrange");
+  }
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> split_range(
+    std::int64_t lo, std::int64_t hi, std::size_t count,
+    SubrangeSpacing spacing) {
+  ASCDG_ASSERT(lo <= hi, "split_range with lo > hi");
+  ASCDG_ASSERT(count >= 1, "split_range with zero count");
+  const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+  const std::size_t n = std::min<std::size_t>(count, width);
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> out;
+  out.reserve(n);
+  if (spacing == SubrangeSpacing::kUniform) {
+    // Equal widths, remainder spread over the leading subranges.
+    const std::uint64_t base = width / n;
+    const std::uint64_t extra = width % n;
+    std::int64_t cursor = lo;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t w = base + (i < extra ? 1 : 0);
+      const std::int64_t sub_hi = cursor + static_cast<std::int64_t>(w) - 1;
+      out.emplace_back(cursor, sub_hi);
+      cursor = sub_hi + 1;
+    }
+    return out;
+  }
+  // Geometric: boundaries at lo + width * ((2^i - 1) / (2^n - 1)), which
+  // doubles each subrange's width — finest resolution near lo.
+  const double denom = std::exp2(static_cast<double>(n)) - 1.0;
+  std::int64_t cursor = lo;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double frac = (std::exp2(static_cast<double>(i)) - 1.0) / denom;
+    std::int64_t boundary =
+        lo + static_cast<std::int64_t>(
+                 std::llround(frac * static_cast<double>(width - 1)));
+    boundary = std::min(boundary, hi);
+    if (i == n) boundary = hi;
+    if (boundary < cursor) boundary = cursor;  // degenerate narrow ranges
+    out.emplace_back(cursor, boundary);
+    cursor = boundary + 1;
+    if (cursor > hi && i < n) break;  // range exhausted early
+  }
+  return out;
+}
+
+tgen::Skeleton Skeletonizer::skeletonize(const tgen::TestTemplate& tmpl) const {
+  tgen::Skeleton skeleton(tmpl.name() + "_skel");
+
+  const auto maybe_mark =
+      [this](double weight) -> std::optional<double> {
+    if (weight == 0.0 && !options_.mark_zero_weights) return 0.0;
+    return std::nullopt;  // marked
+  };
+
+  for (const auto& param : tmpl.parameters()) {
+    if (const auto* wp = std::get_if<tgen::WeightParameter>(&param)) {
+      tgen::SkeletonWeightParameter out{wp->name, {}};
+      out.entries.reserve(wp->entries.size());
+      for (const auto& entry : wp->entries) {
+        out.entries.push_back({entry.value, maybe_mark(entry.weight)});
+      }
+      skeleton.add(std::move(out));
+    } else if (const auto* rp = std::get_if<tgen::RangeParameter>(&param)) {
+      tgen::SkeletonSubrangeParameter out{rp->name, {}};
+      for (const auto& [lo, hi] :
+           split_range(rp->lo, rp->hi, options_.subranges, options_.spacing)) {
+        out.entries.push_back({lo, hi, std::nullopt});
+      }
+      skeleton.add(std::move(out));
+    } else if (const auto* sp = std::get_if<tgen::SubrangeParameter>(&param)) {
+      tgen::SkeletonSubrangeParameter out{sp->name, {}};
+      out.entries.reserve(sp->entries.size());
+      for (const auto& entry : sp->entries) {
+        out.entries.push_back({entry.lo, entry.hi, maybe_mark(entry.weight)});
+      }
+      skeleton.add(std::move(out));
+    }
+  }
+
+  if (skeleton.mark_count() == 0) {
+    throw ValidationError("template '" + tmpl.name() +
+                          "' has no tunable settings to skeletonize");
+  }
+  return skeleton;
+}
+
+}  // namespace ascdg::cdg

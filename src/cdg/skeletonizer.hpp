@@ -1,0 +1,57 @@
+// The Skeletonizer (paper §IV-C): parses a test-template and marks every
+// setting the CDG-Runner may change.
+//
+//  * Weight parameters: every weight is replaced by a mark — except zero
+//    weights, which are preserved unmarked by default "because zero
+//    weights often indicate values that should not be used". The user
+//    can opt in to marking them (mark_zero_weights).
+//  * Range parameters are replaced by subrange weight parameters: the
+//    full range is split into smaller subranges, each with its own
+//    marked weight, so the CDG-Runner can control the distribution over
+//    the range. The user controls how many subranges are used and how
+//    they span the range (uniform or geometric spacing).
+//  * Subrange parameters are treated like weight parameters.
+#pragma once
+
+#include "tgen/skeleton.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::cdg {
+
+enum class SubrangeSpacing {
+  kUniform,    ///< equal-width subranges
+  kGeometric,  ///< exponentially growing widths (finer control near lo)
+};
+
+struct SkeletonizerOptions {
+  std::size_t subranges = 4;        ///< subranges per range parameter
+  bool mark_zero_weights = false;   ///< mark zero weights too
+  SubrangeSpacing spacing = SubrangeSpacing::kUniform;
+};
+
+class Skeletonizer {
+ public:
+  explicit Skeletonizer(SkeletonizerOptions options = {});
+
+  /// Produces the skeleton of `tmpl`. The skeleton keeps the template's
+  /// name with a "_skel" suffix. Throws util::ConfigError for malformed
+  /// options and util::ValidationError if the template has no tunable
+  /// settings at all (a skeleton with zero marks is useless to the
+  /// fine-grained search).
+  [[nodiscard]] tgen::Skeleton skeletonize(const tgen::TestTemplate& tmpl) const;
+
+  [[nodiscard]] const SkeletonizerOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  SkeletonizerOptions options_;
+};
+
+/// Splits [lo, hi] into at most `count` contiguous, non-overlapping,
+/// covering subranges (fewer when the range has fewer integer values).
+/// Exposed for direct testing.
+[[nodiscard]] std::vector<std::pair<std::int64_t, std::int64_t>> split_range(
+    std::int64_t lo, std::int64_t hi, std::size_t count, SubrangeSpacing spacing);
+
+}  // namespace ascdg::cdg

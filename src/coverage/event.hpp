@@ -1,0 +1,53 @@
+// Coverage events and the IBM hit-status convention used throughout the
+// paper's result tables: never-hit (red), lightly-hit (orange; fewer
+// than 100 hits or a hit rate below 1%), well-hit (green).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ascdg::coverage {
+
+/// Strongly-typed index of a coverage event within a CoverageSpace.
+struct EventId {
+  std::uint32_t value = 0;
+
+  friend bool operator==(EventId, EventId) = default;
+  friend auto operator<=>(EventId, EventId) = default;
+};
+
+enum class HitStatus { kNever, kLightly, kWell };
+
+/// Classifies per the paper's convention (§V): hit count < 100 or hit
+/// rate < 1% is lightly hit; zero hits is never hit.
+[[nodiscard]] constexpr HitStatus classify_hits(std::size_t hits,
+                                                std::size_t sims) noexcept {
+  if (hits == 0) return HitStatus::kNever;
+  const double rate =
+      sims > 0 ? static_cast<double>(hits) / static_cast<double>(sims) : 0.0;
+  if (hits < 100 || rate < 0.01) return HitStatus::kLightly;
+  return HitStatus::kWell;
+}
+
+[[nodiscard]] constexpr const char* to_string(HitStatus status) noexcept {
+  switch (status) {
+    case HitStatus::kNever:
+      return "never-hit";
+    case HitStatus::kLightly:
+      return "lightly-hit";
+    case HitStatus::kWell:
+      return "well-hit";
+  }
+  return "?";
+}
+
+}  // namespace ascdg::coverage
+
+template <>
+struct std::hash<ascdg::coverage::EventId> {
+  std::size_t operator()(ascdg::coverage::EventId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

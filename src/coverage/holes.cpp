@@ -1,0 +1,124 @@
+#include "coverage/holes.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/error.hpp"
+
+namespace ascdg::coverage {
+
+namespace {
+
+/// Enumerates every event matching a partial assignment, returning
+/// false from the visitor to stop early.
+template <typename Visitor>
+bool for_each_matching(const CoverageSpace& space, const CrossProduct& cp,
+                       const std::vector<std::size_t>& assignment,
+                       Visitor&& visit) {
+  std::vector<std::size_t> coords(cp.features.size(), 0);
+  // Initialize fixed dims.
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    if (assignment[d] != Hole::kWildcard) coords[d] = assignment[d];
+  }
+  for (;;) {
+    if (!visit(space.cross_event(cp, coords))) return false;
+    // Odometer increment over wildcard dims only.
+    std::size_t d = coords.size();
+    for (; d-- > 0;) {
+      if (assignment[d] != Hole::kWildcard) continue;
+      if (++coords[d] < cp.features[d].cardinality) break;
+      coords[d] = 0;
+    }
+    if (d == static_cast<std::size_t>(-1)) return true;  // wrapped all dims
+  }
+}
+
+std::size_t subspace_size(const CrossProduct& cp,
+                          const std::vector<std::size_t>& assignment) {
+  std::size_t size = 1;
+  for (std::size_t d = 0; d < assignment.size(); ++d) {
+    if (assignment[d] == Hole::kWildcard) size *= cp.features[d].cardinality;
+  }
+  return size;
+}
+
+/// True when `inner` is contained in `outer` (outer is more general and
+/// agrees on its fixed dims).
+bool contained_in(const std::vector<std::size_t>& inner,
+                  const std::vector<std::size_t>& outer) {
+  for (std::size_t d = 0; d < inner.size(); ++d) {
+    if (outer[d] == Hole::kWildcard) continue;
+    if (inner[d] != outer[d]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Hole> find_holes(const CoverageSpace& space, const CrossProduct& cp,
+                             const SimStats& stats, std::size_t max_order) {
+  const std::size_t dims = cp.features.size();
+  ASCDG_ASSERT(stats.event_count() >= cp.first.value + cp.count,
+               "stats do not cover the cross product");
+
+  std::vector<Hole> holes;
+  // Enumerate partial assignments by increasing order so containment
+  // pruning against already-found (more general) holes works.
+  std::vector<std::size_t> fixed_dims;
+  const auto try_assignment = [&](const std::vector<std::size_t>& assignment) {
+    for (const auto& hole : holes) {
+      if (contained_in(assignment, hole.assignment)) return;  // subsumed
+    }
+    const bool all_uncovered = for_each_matching(
+        space, cp, assignment,
+        [&stats](EventId id) { return stats.hits(id) == 0; });
+    if (all_uncovered) {
+      holes.push_back({assignment, subspace_size(cp, assignment)});
+    }
+  };
+
+  // Recursive choice of which dims to fix and their values.
+  const std::function<void(std::size_t, std::size_t,
+                           std::vector<std::size_t>&)>
+      choose = [&](std::size_t order, std::size_t first_dim,
+                   std::vector<std::size_t>& assignment) {
+        if (order == 0) {
+          try_assignment(assignment);
+          return;
+        }
+        for (std::size_t d = first_dim; d < dims; ++d) {
+          for (std::size_t v = 0; v < cp.features[d].cardinality; ++v) {
+            assignment[d] = v;
+            choose(order - 1, d + 1, assignment);
+          }
+          assignment[d] = Hole::kWildcard;
+        }
+      };
+
+  for (std::size_t order = 0; order <= std::min(max_order, dims); ++order) {
+    std::vector<std::size_t> assignment(dims, Hole::kWildcard);
+    choose(order, 0, assignment);
+  }
+
+  std::sort(holes.begin(), holes.end(), [](const Hole& a, const Hole& b) {
+    if (a.order() != b.order()) return a.order() < b.order();
+    if (a.size != b.size) return a.size > b.size;
+    return a.assignment < b.assignment;
+  });
+  return holes;
+}
+
+std::string describe(const CrossProduct& cp, const Hole& hole) {
+  std::string out;
+  for (std::size_t d = 0; d < hole.assignment.size(); ++d) {
+    if (d > 0) out += ", ";
+    out += cp.features[d].name + "=";
+    out += hole.assignment[d] == Hole::kWildcard
+               ? "*"
+               : std::to_string(hole.assignment[d]);
+  }
+  out += "  (" + std::to_string(hole.size) + " events)";
+  return out;
+}
+
+}  // namespace ascdg::coverage

@@ -1,0 +1,55 @@
+// Cross-product coverage-hole analysis (after Lachish/Fine/Ziv-style
+// hole analysis for cross-product coverage models).
+//
+// A "hole" is a projected description of uncovered events: instead of
+// listing each uncovered tuple, find partial assignments of features —
+// e.g. "entry=7, *" — whose entire subspace is uncovered. Compact holes
+// tell a verification engineer *why* a region is uncovered (here:
+// everything with entry=7), which is also how AS-CDG's neighbor
+// strategies decide which events are related.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coverage/repository.hpp"
+#include "coverage/space.hpp"
+
+namespace ascdg::coverage {
+
+/// A hole: a partial feature assignment whose whole subspace is
+/// uncovered. `assignment[d]` is the fixed value of feature d, or
+/// kWildcard when the hole spans every value of that dimension.
+struct Hole {
+  static constexpr std::size_t kWildcard = static_cast<std::size_t>(-1);
+
+  std::vector<std::size_t> assignment;
+  std::size_t size = 0;  ///< number of events the hole covers
+
+  /// Number of fixed (non-wildcard) features; smaller order = more
+  /// general hole.
+  [[nodiscard]] std::size_t order() const noexcept {
+    std::size_t fixed = 0;
+    for (const std::size_t v : assignment) {
+      if (v != kWildcard) ++fixed;
+    }
+    return fixed;
+  }
+};
+
+/// Finds all *maximal* holes of a cross product under `stats` up to
+/// `max_order` fixed features: partial assignments whose full subspace
+/// is uncovered and that are not contained in a more general
+/// (lower-order) hole. Results are sorted by ascending order, then by
+/// descending size, then lexicographically. max_order == 0 is allowed
+/// (it only reports the trivial everything-uncovered hole, if any).
+[[nodiscard]] std::vector<Hole> find_holes(const CoverageSpace& space,
+                                           const CrossProduct& cp,
+                                           const SimStats& stats,
+                                           std::size_t max_order = 2);
+
+/// Human-readable hole description, e.g. "entry=7, thread=*, sector=*,
+/// branch=*  (32 events)".
+[[nodiscard]] std::string describe(const CrossProduct& cp, const Hole& hole);
+
+}  // namespace ascdg::coverage

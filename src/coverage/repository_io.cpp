@@ -1,0 +1,118 @@
+#include "coverage/repository_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ascdg::coverage {
+
+namespace {
+
+constexpr std::string_view kHeader = "template,sims,event,hits";
+
+}  // namespace
+
+void save_repository(const std::filesystem::path& path,
+                     const CoverageSpace& space,
+                     const CoverageRepository& repo) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw util::Error("cannot create directory '" +
+                        path.parent_path().string() + "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw util::Error("cannot open '" + path.string() + "' for writing");
+  }
+  out << kHeader << '\n';
+  for (const auto& name : repo.template_names()) {
+    const auto& stats = repo.stats(name);
+    bool any = false;
+    for (std::size_t e = 0; e < stats.event_count(); ++e) {
+      const EventId id{static_cast<std::uint32_t>(e)};
+      if (stats.hits(id) == 0) continue;
+      out << name << ',' << stats.sims() << ',' << space.name(id) << ','
+          << stats.hits(id) << '\n';
+      any = true;
+    }
+    if (!any) {
+      // Preserve the sim count of templates that hit nothing.
+      out << name << ',' << stats.sims() << ",,0\n";
+    }
+  }
+  out.flush();
+  if (!out) {
+    throw util::Error("failed writing '" + path.string() + "'");
+  }
+}
+
+CoverageRepository load_repository(const std::filesystem::path& path,
+                                   const CoverageSpace& space) {
+  std::ifstream in(path);
+  if (!in) {
+    throw util::Error("cannot open '" + path.string() + "' for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line) || util::trim(line) != kHeader) {
+    throw util::Error("'" + path.string() +
+                      "' is not a coverage repository CSV (bad header)");
+  }
+
+  struct Pending {
+    std::size_t sims = 0;
+    std::vector<std::size_t> hits;
+  };
+  std::map<std::string, Pending> pending;
+
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = util::split(trimmed, ',');
+    const auto fail = [&](const std::string& why) -> util::Error {
+      return util::Error("'" + path.string() + "' line " +
+                         std::to_string(line_number) + ": " + why);
+    };
+    if (fields.size() != 4) throw fail("expected 4 fields");
+    const std::string name(util::trim(fields[0]));
+    if (name.empty()) throw fail("empty template name");
+    const auto sims = util::parse_int(fields[1]);
+    const auto hits = util::parse_int(fields[3]);
+    if (!sims.has_value() || *sims < 0) throw fail("bad sims count");
+    if (!hits.has_value() || *hits < 0) throw fail("bad hit count");
+
+    auto [it, inserted] = pending.try_emplace(name);
+    if (inserted) {
+      it->second.sims = static_cast<std::size_t>(*sims);
+      it->second.hits.assign(space.size(), 0);
+    } else if (it->second.sims != static_cast<std::size_t>(*sims)) {
+      throw fail("inconsistent sims count for template '" + name + "'");
+    }
+
+    const auto event_name = util::trim(fields[2]);
+    if (event_name.empty()) {
+      if (*hits != 0) throw fail("hit count without an event name");
+      continue;
+    }
+    const auto event = space.find(event_name);
+    if (!event.has_value()) {
+      throw fail("unknown event '" + std::string(event_name) + "'");
+    }
+    it->second.hits[event->value] = static_cast<std::size_t>(*hits);
+  }
+
+  CoverageRepository repo(space.size());
+  for (auto& [name, data] : pending) {
+    repo.record(name, SimStats::from_counts(data.sims, std::move(data.hits)));
+  }
+  return repo;
+}
+
+}  // namespace ascdg::coverage

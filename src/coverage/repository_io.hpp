@@ -1,0 +1,33 @@
+// Persistence for coverage repositories: a plain CSV with one row per
+// (template, event) pair plus per-template sim counts, so "Before CDG"
+// data collected once (hours of regression) can be reused by later flow
+// runs, other tools, or spreadsheets.
+//
+// Format (header row required):
+//   template,sims,event,hits
+//   io_default,66900,crc_004,8295
+//   ...
+// Events with zero hits are omitted; a template with zero hit events
+// still appears once with an empty event field to preserve its sim
+// count.
+#pragma once
+
+#include <filesystem>
+
+#include "coverage/repository.hpp"
+#include "coverage/space.hpp"
+
+namespace ascdg::coverage {
+
+/// Writes `repo` as CSV. Event columns use names from `space`.
+/// Throws util::Error on IO failure.
+void save_repository(const std::filesystem::path& path,
+                     const CoverageSpace& space, const CoverageRepository& repo);
+
+/// Reads a repository back. Unknown event names and malformed rows
+/// throw util::Error (with the offending line); the event universe is
+/// `space`.
+[[nodiscard]] CoverageRepository load_repository(
+    const std::filesystem::path& path, const CoverageSpace& space);
+
+}  // namespace ascdg::coverage

@@ -1,0 +1,59 @@
+// CoverageVector: the per-simulation hit bitmap. "Simulating a
+// test-instance on the design produces a coverage vector, indicating
+// whether each coverage event was hit in this simulation" (paper §III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/event.hpp"
+
+namespace ascdg::coverage {
+
+class CoverageVector {
+ public:
+  CoverageVector() = default;
+  explicit CoverageVector(std::size_t event_count)
+      : bits_((event_count + 63) / 64, 0), size_(event_count) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  void hit(EventId id) noexcept {
+    if (id.value >= size_) return;
+    bits_[id.value / 64] |= (std::uint64_t{1} << (id.value % 64));
+  }
+
+  [[nodiscard]] bool was_hit(EventId id) const noexcept {
+    if (id.value >= size_) return false;
+    return (bits_[id.value / 64] >> (id.value % 64)) & 1;
+  }
+
+  /// Number of distinct events hit.
+  [[nodiscard]] std::size_t popcount() const noexcept {
+    std::size_t total = 0;
+    for (const std::uint64_t word : bits_) {
+      total += static_cast<std::size_t>(__builtin_popcountll(word));
+    }
+    return total;
+  }
+
+  /// Union with another vector of the same size.
+  void merge(const CoverageVector& other) noexcept {
+    const std::size_t n = bits_.size() < other.bits_.size()
+                              ? bits_.size()
+                              : other.bits_.size();
+    for (std::size_t i = 0; i < n; ++i) bits_[i] |= other.bits_[i];
+  }
+
+  void clear() noexcept {
+    for (auto& word : bits_) word = 0;
+  }
+
+  friend bool operator==(const CoverageVector&, const CoverageVector&) = default;
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ascdg::coverage

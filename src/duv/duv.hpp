@@ -1,0 +1,59 @@
+// The design-under-verification interface.
+//
+// This is the boundary that keeps AS-CDG "black box" (paper §I): the
+// CDG flow only ever interacts with a Duv through (a) its coverage-event
+// declarations, (b) its default test-template (the full parameter list
+// with default settings), and (c) simulate(), which maps a test-template
+// plus a seed to a coverage vector. A wrapper around a real RTL
+// simulator can implement the same interface.
+//
+// simulate() must be:
+//   * deterministic — the same (template, seed) always yields the same
+//     coverage vector;
+//   * thread-safe   — no mutable shared state; all simulation state is
+//     local to the call (the batch farm calls it concurrently).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "coverage/space.hpp"
+#include "coverage/vector.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::duv {
+
+class Duv {
+ public:
+  virtual ~Duv() = default;
+
+  Duv(const Duv&) = delete;
+  Duv& operator=(const Duv&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// All coverage events this unit monitors.
+  [[nodiscard]] virtual const coverage::CoverageSpace& space() const noexcept = 0;
+
+  /// The full parameter list with default settings. Test-templates
+  /// override a subset of these; unknown parameter names in a template
+  /// are ignored by the generator (they simply are never consulted).
+  [[nodiscard]] virtual const tgen::TestTemplate& defaults() const noexcept = 0;
+
+  /// Generates one test-instance from `tmpl` (falling back to the
+  /// defaults for parameters the template does not set) and simulates
+  /// it, returning the coverage vector.
+  [[nodiscard]] virtual coverage::CoverageVector simulate(
+      const tgen::TestTemplate& tmpl, std::uint64_t seed) const = 0;
+
+  /// The unit's existing regression suite: the test-templates "developed
+  /// by the verification team" (paper §IV-B) that the coarse-grained
+  /// search mines for relevant parameters.
+  [[nodiscard]] virtual std::vector<tgen::TestTemplate> suite() const = 0;
+
+ protected:
+  Duv() = default;
+};
+
+}  // namespace ascdg::duv

@@ -1,0 +1,167 @@
+#include "duv/ifu.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "stimgen/sampler.hpp"
+#include "tgen/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::duv {
+
+namespace {
+
+constexpr std::string_view kSuiteText = R"(
+# Single-thread default run.
+template ifu_default {
+  weight ThreadSel { 0: 70, 1: 20, 2: 8, 3: 2 }
+}
+
+# Sequential fetch bandwidth (no branches).
+template ifu_seq_fetch {
+  weight BranchDir { not_taken: 98, taken: 2 }
+  range FetchGap [6, 15]
+  weight SectorSel { 0: 70, 1: 20, 2: 8, 3: 2 }
+}
+
+# Branch-heavy workload.
+template ifu_branchy {
+  weight BranchDir { not_taken: 45, taken: 55 }
+  weight Redirect { off: 40, on: 60 }
+}
+
+# ICache thrash: many misses, slow drains.
+template ifu_icache_thrash {
+  weight ICache { hit: 60, miss: 40 }
+  range MissLatency [10, 18]
+  range FetchGap [2, 15]
+}
+
+# SMT fairness mix.
+template ifu_smt_mix {
+  weight ThreadSel { 0: 25, 1: 25, 2: 25, 3: 25 }
+  range FetchGap [6, 12]
+}
+
+# Sector sweep diagnostics.
+template ifu_sector_sweep {
+  weight SectorSel { 0: 25, 1: 25, 2: 25, 3: 25 }
+}
+
+# Back-to-back fetch pressure: the template whose parameters matter for
+# deep buffer occupancy.
+template ifu_b2b_fetch {
+  range FetchGap [2, 5]
+  weight ICache { hit: 70, miss: 30 }
+  weight BranchDir { not_taken: 90, taken: 10 }
+}
+
+# Long-latency corner.
+template ifu_slow_drain {
+  range MissLatency [22, 30]
+  weight ICache { hit: 70, miss: 30 }
+}
+)";
+
+}  // namespace
+
+Ifu::Ifu() : defaults_("ifu_defaults") {
+  cross_ = &space_.declare_cross_product(
+      "ifu", {{"entry", kEntries},
+              {"thread", kThreads},
+              {"sector", kSectors},
+              {"branch", 2}});
+  ev_stall_ = space_.declare_event("ifu_credit_stall");
+  ev_redirect_ = space_.declare_event("ifu_redirect_flush");
+  ev_icache_miss_ = space_.declare_event("ifu_icache_miss");
+  ev_thread_switch_ = space_.declare_event("ifu_thread_switch");
+
+  using tgen::RangeParameter;
+  using tgen::Value;
+  using tgen::WeightParameter;
+  defaults_.add(WeightParameter{"ThreadSel",
+                                {{Value{std::int64_t{0}}, 70},
+                                 {Value{std::int64_t{1}}, 20},
+                                 {Value{std::int64_t{2}}, 8},
+                                 {Value{std::int64_t{3}}, 2}}});
+  defaults_.add(WeightParameter{"SectorSel",
+                                {{Value{std::int64_t{0}}, 50},
+                                 {Value{std::int64_t{1}}, 30},
+                                 {Value{std::int64_t{2}}, 15},
+                                 {Value{std::int64_t{3}}, 5}}});
+  defaults_.add(WeightParameter{"BranchDir",
+                                {{Value{"not_taken"}, 90}, {Value{"taken"}, 10}}});
+  defaults_.add(RangeParameter{"FetchGap", 2, 15});
+  defaults_.add(WeightParameter{"ICache",
+                                {{Value{"hit"}, 85}, {Value{"miss"}, 15}}});
+  defaults_.add(RangeParameter{"HitLatency", 1, 3});
+  defaults_.add(RangeParameter{"MissLatency", 8, 30});
+  defaults_.add(WeightParameter{"Redirect",
+                                {{Value{"off"}, 90}, {Value{"on"}, 10}}});
+  defaults_.add(RangeParameter{"NumFetches", 80, 240});
+}
+
+coverage::CoverageVector Ifu::simulate(const tgen::TestTemplate& tmpl,
+                                       std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  stimgen::ParameterSampler sampler(&tmpl, defaults_, rng);
+  coverage::CoverageVector vec(space_.size());
+
+  const std::int64_t num_fetches = sampler.draw_range("NumFetches");
+
+  // Live fetch-buffer entries: completion timestamps, kept sorted is not
+  // needed — we drain by scanning (occupancy <= 7).
+  std::vector<std::int64_t> live;
+  live.reserve(kCreditCap);
+  std::int64_t now = 0;
+  std::int64_t last_thread = -1;
+
+  for (std::int64_t fetch = 0; fetch < num_fetches; ++fetch) {
+    now += sampler.draw_range("FetchGap");
+
+    // Drain entries whose icache response has arrived.
+    std::erase_if(live, [now](std::int64_t t) { return t <= now; });
+
+    const std::int64_t thread = std::clamp<std::int64_t>(
+        sampler.draw_int_value("ThreadSel"), 0, kThreads - 1);
+    if (last_thread >= 0 && thread != last_thread) vec.hit(ev_thread_switch_);
+    last_thread = thread;
+
+    const std::int64_t sector = std::clamp<std::int64_t>(
+        sampler.draw_int_value("SectorSel"), 0, kSectors - 1);
+    const bool taken = sampler.draw("BranchDir").as_symbol() == "taken";
+
+    // Credit limiter: live occupancy is capped at 7, so allocation index
+    // 7 (the 8th entry) is structurally unreachable.
+    if (live.size() >= kCreditCap) {
+      vec.hit(ev_stall_);
+      continue;
+    }
+    const std::size_t entry = live.size();
+
+    const bool miss = sampler.draw("ICache").as_symbol() == "miss";
+    if (miss) vec.hit(ev_icache_miss_);
+    const std::int64_t latency =
+        miss ? sampler.draw_range("MissLatency") : sampler.draw_range("HitLatency");
+    live.push_back(now + latency);
+
+    const std::size_t coords[4] = {entry, static_cast<std::size_t>(thread),
+                                   static_cast<std::size_t>(sector),
+                                   taken ? std::size_t{1} : std::size_t{0}};
+    vec.hit(space_.cross_event(*cross_, coords));
+
+    // A taken branch with redirect enabled flushes the fetch buffer.
+    if (taken && sampler.draw("Redirect").as_symbol() == "on") {
+      vec.hit(ev_redirect_);
+      live.clear();
+    }
+  }
+  return vec;
+}
+
+std::vector<tgen::TestTemplate> Ifu::suite() const {
+  return tgen::parse_templates(kSuiteText);
+}
+
+}  // namespace ascdg::duv

@@ -1,0 +1,247 @@
+#include "duv/l3_cache.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+#include <string>
+
+#include "stimgen/sampler.hpp"
+#include "tgen/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::duv {
+
+namespace {
+
+enum Req : std::size_t {
+  kReqRead = 0,
+  kReqWrite,
+  kReqPrefetch,
+  kReqCastout,
+  kReqNcRead,
+  kReqDma,
+  kReqCount
+};
+constexpr const char* kReqNames[kReqCount] = {"read",    "write", "prefetch",
+                                              "castout", "nc_read", "dma"};
+
+constexpr std::string_view kSuiteText = R"(
+# Nightly defaults.
+template l3_default {
+  weight ReqType { read: 52, write: 25, prefetch: 11, castout: 10, nc_read: 1, dma: 1 }
+}
+
+# Read-dominated workload, high locality.
+template l3_read_hot {
+  weight ReqType { read: 80, write: 10, prefetch: 10, castout: 0, nc_read: 0, dma: 0 }
+  weight AddrLocality { line: 60, page: 30, random: 10 }
+}
+
+# Write/castout pressure on the write queue.
+template l3_write_pressure {
+  weight ReqType { read: 10, write: 55, prefetch: 0, castout: 35, nc_read: 0, dma: 0 }
+  range InterArrival [0, 7]
+}
+
+# Prefetch trains.
+template l3_prefetch_train {
+  weight ReqType { read: 30, write: 10, prefetch: 55, castout: 5, nc_read: 0, dma: 0 }
+  weight AddrLocality { line: 20, page: 70, random: 10 }
+}
+
+# Non-cacheable / DMA traffic smoke test: the template whose parameters
+# matter for the bypass tracker family.
+template l3_nc_smoke {
+  weight ReqType { read: 40, write: 20, prefetch: 12, castout: 10, nc_read: 12, dma: 6 }
+  range RespDelay [24, 96]
+  range InterArrival [1, 31]
+  range NumReqs [80, 240]
+}
+
+# Multi-thread fairness.
+template l3_thread_mix {
+  weight ThreadSel { 0: 25, 1: 25, 2: 25, 3: 25 }
+  weight ReqType { read: 55, write: 25, prefetch: 10, castout: 10, nc_read: 0, dma: 0 }
+}
+
+# Random-address miss storm.
+template l3_miss_storm {
+  weight AddrLocality { line: 5, page: 15, random: 80 }
+  weight BypassHint { off: 85, on: 15 }
+}
+
+# Slow memory corner.
+template l3_slow_mem {
+  range RespDelay [72, 96]
+  weight ReqType { read: 60, write: 20, prefetch: 10, castout: 10, nc_read: 0, dma: 0 }
+}
+
+# Back-to-back arrival stress.
+template l3_b2b {
+  range InterArrival [1, 4]
+  weight ReqType { read: 45, write: 30, prefetch: 15, castout: 10, nc_read: 0, dma: 0 }
+}
+)";
+
+/// A bypass entry in flight: completion timestamp.
+struct InFlight {
+  std::int64_t completes_at;
+  friend bool operator>(const InFlight& a, const InFlight& b) {
+    return a.completes_at > b.completes_at;
+  }
+};
+
+}  // namespace
+
+L3Cache::L3Cache() : defaults_("l3_defaults") {
+  // --- Coverage events -------------------------------------------------
+  std::vector<std::string> byp_suffixes;
+  for (std::size_t k = 1; k <= kTrackerDepth; ++k) {
+    byp_suffixes.push_back(k < 10 ? "0" + std::to_string(k)
+                                  : std::to_string(k));
+  }
+  byp_events_ = space_.declare_family("byp_reqs", byp_suffixes);
+
+  std::vector<std::string> wrq_suffixes;
+  for (std::size_t k = 1; k <= kWriteQueueDepth; ++k) {
+    wrq_suffixes.push_back("0" + std::to_string(k));
+  }
+  wrq_events_ = space_.declare_family("l3_wrq", wrq_suffixes);
+
+  for (std::size_t r = 0; r < kReqCount; ++r) {
+    ev_req_[r] = space_.declare_event("l3_req_" + std::string(kReqNames[r]));
+  }
+  ev_hit_ = space_.declare_event("l3_dir_hit");
+  ev_miss_ = space_.declare_event("l3_dir_miss");
+  for (std::size_t t = 0; t < 4; ++t) {
+    ev_thread_[t] = space_.declare_event("l3_thr" + std::to_string(t));
+  }
+  ev_nack_ = space_.declare_event("l3_byp_nack");
+  ev_tracker_full_ = space_.declare_event("l3_byp_tracker_full");
+
+  // --- Default parameter settings --------------------------------------
+  using tgen::RangeParameter;
+  using tgen::Value;
+  using tgen::WeightParameter;
+  defaults_.add(WeightParameter{"ReqType",
+                                {{Value{"read"}, 52},
+                                 {Value{"write"}, 25},
+                                 {Value{"prefetch"}, 11},
+                                 {Value{"castout"}, 8},
+                                 {Value{"nc_read"}, 2},
+                                 {Value{"dma"}, 2}}});
+  defaults_.add(RangeParameter{"InterArrival", 1, 31});
+  defaults_.add(RangeParameter{"RespDelay", 8, 96});
+  defaults_.add(WeightParameter{"ThreadSel",
+                                {{Value{std::int64_t{0}}, 40},
+                                 {Value{std::int64_t{1}}, 30},
+                                 {Value{std::int64_t{2}}, 20},
+                                 {Value{std::int64_t{3}}, 10}}});
+  defaults_.add(WeightParameter{
+      "AddrLocality",
+      {{Value{"line"}, 30}, {Value{"page"}, 40}, {Value{"random"}, 30}}});
+  defaults_.add(WeightParameter{"BypassHint",
+                                {{Value{"off"}, 95}, {Value{"on"}, 5}}});
+  defaults_.add(RangeParameter{"NumReqs", 80, 240});
+  defaults_.add(RangeParameter{"WriteBurst", 1, 6});
+}
+
+coverage::CoverageVector L3Cache::simulate(const tgen::TestTemplate& tmpl,
+                                           std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  stimgen::ParameterSampler sampler(&tmpl, defaults_, rng);
+  coverage::CoverageVector vec(space_.size());
+
+  const std::int64_t num_reqs = sampler.draw_range("NumReqs");
+
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> tracker;
+  std::int64_t now = 0;
+  std::size_t max_concurrency = 0;
+
+  std::size_t write_queue = 0;  // drains one entry per request slot
+  std::size_t max_wrq = 0;
+
+  for (std::int64_t req = 0; req < num_reqs; ++req) {
+    now += sampler.draw_range("InterArrival");
+
+    // Retire completed bypass responses.
+    while (!tracker.empty() && tracker.top().completes_at <= now) tracker.pop();
+    // Write queue drains one entry per slot.
+    if (write_queue > 0) --write_queue;
+
+    const tgen::Value req_value = sampler.draw("ReqType");
+    const std::string& req_name = req_value.as_symbol();
+    std::size_t req_index = 0;
+    for (std::size_t r = 0; r < kReqCount; ++r) {
+      if (req_name == kReqNames[r]) {
+        req_index = r;
+        break;
+      }
+    }
+    vec.hit(ev_req_[req_index]);
+
+    const std::int64_t thread = sampler.draw_int_value("ThreadSel");
+    vec.hit(ev_thread_[static_cast<std::size_t>(
+        std::clamp<std::int64_t>(thread, 0, 3))]);
+
+    // Directory lookup: locality controls the hit probability.
+    const tgen::Value loc = sampler.draw("AddrLocality");
+    const double hit_p = loc.as_symbol() == "line"   ? 0.85
+                         : loc.as_symbol() == "page" ? 0.55
+                                                     : 0.15;
+    const bool dir_hit = sampler.rng().bernoulli(hit_p);
+    vec.hit(dir_hit ? ev_hit_ : ev_miss_);
+
+    // Write queue occupancy family (secondary, easier family).
+    if (req_index == kReqWrite || req_index == kReqCastout) {
+      const auto burst =
+          static_cast<std::size_t>(sampler.draw_range("WriteBurst"));
+      write_queue = std::min(write_queue + burst, kWriteQueueDepth);
+      max_wrq = std::max(max_wrq, write_queue);
+    }
+
+    // Bypass eligibility: nc_read and dma always; hinted read misses too.
+    const bool wants_bypass =
+        req_index == kReqNcRead || req_index == kReqDma ||
+        (req_index == kReqRead && !dir_hit &&
+         sampler.draw("BypassHint").as_symbol() == "on");
+    if (!wants_bypass) continue;
+
+    const std::size_t occupancy = tracker.size();
+    if (occupancy >= kTrackerDepth) {
+      vec.hit(ev_tracker_full_);
+      continue;
+    }
+    // Occupancy backpressure: above kNackThreshold in-flight entries,
+    // the accept probability falls off quadratically, reaching 1% just
+    // below full occupancy. Each extra concurrency level is therefore
+    // multiplicatively harder -- the family's "descent gradient".
+    if (occupancy >= kNackThreshold) {
+      const double headroom =
+          static_cast<double>(kTrackerDepth - occupancy) /
+          static_cast<double>(kTrackerDepth - kNackThreshold + 1);
+      const double accept = headroom * headroom;
+      if (!sampler.rng().bernoulli(accept)) {
+        vec.hit(ev_nack_);
+        continue;
+      }
+    }
+    const std::int64_t delay = sampler.draw_range("RespDelay");
+    tracker.push({now + delay});
+    max_concurrency = std::max(max_concurrency, tracker.size());
+  }
+
+  for (std::size_t k = 0; k < byp_events_.size(); ++k) {
+    if (max_concurrency >= k + 1) vec.hit(byp_events_[k]);
+  }
+  for (std::size_t k = 0; k < wrq_events_.size(); ++k) {
+    if (max_wrq >= k + 1) vec.hit(wrq_events_[k]);
+  }
+  return vec;
+}
+
+std::vector<tgen::TestTemplate> L3Cache::suite() const {
+  return tgen::parse_templates(kSuiteText);
+}
+
+}  // namespace ascdg::duv

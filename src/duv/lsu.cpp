@@ -1,0 +1,222 @@
+#include "duv/lsu.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "stimgen/sampler.hpp"
+#include "tgen/parser.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::duv {
+
+namespace {
+
+enum Mnemonic : std::size_t { kLoad = 0, kStore, kAdd, kSync, kMnemonicCount };
+constexpr const char* kMnemonicNames[kMnemonicCount] = {"load", "store", "add",
+                                                        "sync"};
+
+constexpr std::string_view kSuiteText = R"(
+# The paper's Fig. 1(a) template, verbatim.
+template lsu_stress {
+  weight Mnemonic { load: 40, store: 40, add: 0, sync: 20 }
+  range CacheDelay [0, 1000]
+}
+
+# Nightly defaults.
+template lsu_default {
+  weight Mnemonic { load: 35, store: 25, add: 30, sync: 10 }
+}
+
+# Load bandwidth.
+template lsu_load_stream {
+  weight Mnemonic { load: 70, store: 10, add: 15, sync: 5 }
+  weight AddrPattern { same_line: 10, stride: 60, random: 30 }
+}
+
+# Store bursts with frequent fences.
+template lsu_store_fence {
+  weight Mnemonic { load: 10, store: 55, add: 10, sync: 25 }
+}
+
+# Same-line contention smoke test: the template whose parameters matter
+# for the forwarding-queue family.
+template lsu_same_line {
+  weight Mnemonic { load: 30, store: 45, add: 15, sync: 10 }
+  weight AddrPattern { same_line: 55, stride: 30, random: 15 }
+  range CacheDelay [0, 1000]
+}
+
+# Random-address ALU mix.
+template lsu_alu_mix {
+  weight Mnemonic { load: 20, store: 15, add: 60, sync: 5 }
+  weight AddrPattern { same_line: 5, stride: 25, random: 70 }
+}
+
+# Slow-memory corner.
+template lsu_slow_cache {
+  range CacheDelay [600, 1000]
+  weight Mnemonic { load: 40, store: 20, add: 30, sync: 10 }
+}
+
+# Strided engine (DMA-like).
+template lsu_stride_engine {
+  weight AddrPattern { same_line: 0, stride: 90, random: 10 }
+  range StrideSize [1, 8]
+}
+)";
+
+}  // namespace
+
+Lsu::Lsu() : defaults_("lsu_defaults") {
+  std::vector<std::string> suffixes;
+  for (std::size_t k = 1; k <= kStoreQueueDepth; ++k) {
+    suffixes.push_back(k < 10 ? "0" + std::to_string(k) : std::to_string(k));
+  }
+  fwdq_events_ = space_.declare_family("lsu_fwdq", suffixes);
+
+  for (std::size_t m = 0; m < kMnemonicCount; ++m) {
+    ev_mnemonic_[m] =
+        space_.declare_event("lsu_op_" + std::string(kMnemonicNames[m]));
+  }
+  ev_fwd_hit_ = space_.declare_event("lsu_fwd_hit");
+  ev_ld_hit_ = space_.declare_event("lsu_ld_hit");
+  ev_ld_miss_ = space_.declare_event("lsu_ld_miss");
+  ev_stq_full_ = space_.declare_event("lsu_stq_full");
+  ev_sync_drain_ = space_.declare_event("lsu_sync_drain");
+  ev_bank_conflict_ = space_.declare_event("lsu_bank_conflict");
+
+  using tgen::RangeParameter;
+  using tgen::Value;
+  using tgen::WeightParameter;
+  defaults_.add(WeightParameter{"Mnemonic",
+                                {{Value{"load"}, 35},
+                                 {Value{"store"}, 25},
+                                 {Value{"add"}, 30},
+                                 {Value{"sync"}, 10}}});
+  defaults_.add(RangeParameter{"CacheDelay", 0, 1000});
+  defaults_.add(WeightParameter{"AddrPattern",
+                                {{Value{"same_line"}, 15},
+                                 {Value{"stride"}, 45},
+                                 {Value{"random"}, 40}}});
+  defaults_.add(RangeParameter{"StrideSize", 1, 8});
+  defaults_.add(RangeParameter{"NumInstr", 100, 300});
+}
+
+coverage::CoverageVector Lsu::simulate(const tgen::TestTemplate& tmpl,
+                                       std::uint64_t seed) const {
+  util::Xoshiro256 rng(seed);
+  stimgen::ParameterSampler sampler(&tmpl, defaults_, rng);
+  coverage::CoverageVector vec(space_.size());
+
+  const std::int64_t num_instr = sampler.draw_range("NumInstr");
+
+  struct PendingStore {
+    std::int64_t line;
+    std::int64_t retires_at;
+  };
+  std::vector<PendingStore> store_queue;
+  store_queue.reserve(kStoreQueueDepth);
+
+  std::int64_t now = 0;
+  std::int64_t stride_cursor = 0;
+  std::int64_t last_line = -1;
+  std::size_t max_fwd_occupancy = 0;
+
+  const auto draw_line = [&]() -> std::int64_t {
+    const auto pattern = sampler.draw("AddrPattern").as_symbol();
+    if (pattern == "same_line") return 0;
+    if (pattern == "stride") {
+      stride_cursor =
+          (stride_cursor + sampler.draw_range("StrideSize")) % kLineCount;
+      return stride_cursor;
+    }
+    return sampler.rng().uniform_i64(0, kLineCount - 1);
+  };
+
+  for (std::int64_t instr = 0; instr < num_instr; ++instr) {
+    now += 4;  // issue bandwidth: one memory op per 4 cycles
+    std::erase_if(store_queue, [now](const PendingStore& s) {
+      return s.retires_at <= now;
+    });
+
+    const auto mnemonic = sampler.draw("Mnemonic").as_symbol();
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < kMnemonicCount; ++i) {
+      if (mnemonic == kMnemonicNames[i]) {
+        m = i;
+        break;
+      }
+    }
+    vec.hit(ev_mnemonic_[m]);
+
+    switch (m) {
+      case kLoad: {
+        const std::int64_t line = draw_line();
+        if (last_line >= 0 && line != last_line && line % 4 == last_line % 4) {
+          vec.hit(ev_bank_conflict_);
+        }
+        last_line = line;
+        // Youngest matching outstanding store forwards.
+        const auto match =
+            std::find_if(store_queue.rbegin(), store_queue.rend(),
+                         [line](const PendingStore& s) { return s.line == line; });
+        if (match != store_queue.rend()) {
+          vec.hit(ev_fwd_hit_);
+          max_fwd_occupancy = std::max(max_fwd_occupancy, store_queue.size());
+        } else {
+          // Cache lookup: same-line data is warm; others miss more.
+          const double hit_p = line == 0 ? 0.9 : 0.55;
+          vec.hit(sampler.rng().bernoulli(hit_p) ? ev_ld_hit_ : ev_ld_miss_);
+        }
+        break;
+      }
+      case kStore: {
+        const std::int64_t line = draw_line();
+        if (last_line >= 0 && line != last_line && line % 4 == last_line % 4) {
+          vec.hit(ev_bank_conflict_);
+        }
+        last_line = line;
+        if (store_queue.size() >= kStoreQueueDepth) {
+          // Full queue: the store stalls until the oldest entry drains.
+          vec.hit(ev_stq_full_);
+          now = store_queue.front().retires_at;
+          std::erase_if(store_queue, [this, now](const PendingStore& s) {
+            (void)this;
+            return s.retires_at <= now;
+          });
+        }
+        // Retirement latency scales with the cache delay parameter.
+        const std::int64_t delay = sampler.draw_range("CacheDelay");
+        store_queue.push_back({line, now + 4 + delay / 16});
+        break;
+      }
+      case kSync:
+        if (!store_queue.empty()) {
+          vec.hit(ev_sync_drain_);
+          now = std::max(now, std::max_element(
+                                  store_queue.begin(), store_queue.end(),
+                                  [](const PendingStore& a, const PendingStore& b) {
+                                    return a.retires_at < b.retires_at;
+                                  })
+                                  ->retires_at);
+          store_queue.clear();
+        }
+        break;
+      case kAdd:
+      default:
+        break;  // filler
+    }
+  }
+
+  for (std::size_t k = 0; k < fwdq_events_.size(); ++k) {
+    if (max_fwd_occupancy >= k + 1) vec.hit(fwdq_events_[k]);
+  }
+  return vec;
+}
+
+std::vector<tgen::TestTemplate> Lsu::suite() const {
+  return tgen::parse_templates(kSuiteText);
+}
+
+}  // namespace ascdg::duv

@@ -1,0 +1,64 @@
+#include "duv/registry.hpp"
+
+#include "duv/ifu.hpp"
+#include "duv/io_unit.hpp"
+#include "duv/l3_cache.hpp"
+#include "duv/lsu.hpp"
+
+namespace ascdg::duv {
+
+namespace {
+
+struct Entry {
+  std::string_view name;
+  std::string_view description;
+  std::string_view primary_family;
+  std::unique_ptr<Duv> (*make)();
+};
+
+constexpr Entry kUnits[] = {
+    {"io_unit", "I/O link controller (crc_* burst-length family)", "crc",
+     []() -> std::unique_ptr<Duv> { return std::make_unique<IoUnit>(); }},
+    {"l3_cache", "L3 cache slice (byp_reqs* bypass-tracker family)",
+     "byp_reqs",
+     []() -> std::unique_ptr<Duv> { return std::make_unique<L3Cache>(); }},
+    {"ifu", "instruction fetch unit (256-event cross product)", "ifu",
+     []() -> std::unique_ptr<Duv> { return std::make_unique<Ifu>(); }},
+    {"lsu",
+     "load-store unit (lsu_fwdq* forwarding family; the paper's Fig. 1 "
+     "example)",
+     "lsu_fwdq",
+     []() -> std::unique_ptr<Duv> { return std::make_unique<Lsu>(); }},
+};
+
+}  // namespace
+
+std::vector<std::string> unit_names() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kUnits));
+  for (const auto& entry : kUnits) names.emplace_back(entry.name);
+  return names;
+}
+
+std::unique_ptr<Duv> make_unit(std::string_view name) {
+  for (const auto& entry : kUnits) {
+    if (entry.name == name) return entry.make();
+  }
+  return nullptr;
+}
+
+std::string_view unit_description(std::string_view name) {
+  for (const auto& entry : kUnits) {
+    if (entry.name == name) return entry.description;
+  }
+  return {};
+}
+
+std::string_view unit_primary_family(std::string_view name) {
+  for (const auto& entry : kUnits) {
+    if (entry.name == name) return entry.primary_family;
+  }
+  return {};
+}
+
+}  // namespace ascdg::duv

@@ -1,0 +1,27 @@
+// Registry of the bundled simulated units, so tools, examples, and
+// tests can construct them by name without hard-coding the list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "duv/duv.hpp"
+
+namespace ascdg::duv {
+
+/// Names of all bundled units, in a stable order.
+[[nodiscard]] std::vector<std::string> unit_names();
+
+/// Constructs a bundled unit by name; nullptr for unknown names.
+[[nodiscard]] std::unique_ptr<Duv> make_unit(std::string_view name);
+
+/// One-line description of a bundled unit ("" for unknown names).
+[[nodiscard]] std::string_view unit_description(std::string_view name);
+
+/// The coverage-event family each bundled unit's headline experiment
+/// targets ("" for unknown names) — crc, byp_reqs, ifu, lsu_fwdq.
+[[nodiscard]] std::string_view unit_primary_family(std::string_view name);
+
+}  // namespace ascdg::duv

@@ -1,0 +1,410 @@
+#include "opt/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::opt {
+
+namespace {
+
+std::vector<double> clamped(std::span<const double> x, double lo, double hi) {
+  std::vector<double> out(x.begin(), x.end());
+  for (double& v : out) v = std::clamp(v, lo, hi);
+  return out;
+}
+
+}  // namespace
+
+OptResult random_search(Objective& objective,
+                        const RandomSearchOptions& options) {
+  if (options.samples == 0) {
+    throw util::ConfigError("random search needs at least one sample");
+  }
+  if (!(options.lower < options.upper)) {
+    throw util::ConfigError("random search box is empty");
+  }
+  const std::size_t dim = objective.dimension();
+  util::Xoshiro256 rng(options.seed);
+  util::SeedStream eval_seeds(options.seed ^ 0x5EEDFACEULL);
+
+  OptResult result;
+  result.best_value = -std::numeric_limits<double>::infinity();
+  std::vector<double> x(dim);
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    for (double& v : x) v = rng.uniform(options.lower, options.upper);
+    const double value = objective.evaluate(x, eval_seeds.next());
+    ++result.evaluations;
+    if (value > result.best_value) {
+      result.best_value = value;
+      result.best_point = x;
+    }
+    result.trace.push_back(
+        {s, value, result.best_value, 0.0, result.evaluations, value == result.best_value});
+  }
+  result.reason = StopReason::kMaxEvaluations;
+  return result;
+}
+
+OptResult coordinate_search(Objective& objective, std::span<const double> x0,
+                            const CoordinateSearchOptions& options) {
+  const std::size_t dim = objective.dimension();
+  if (x0.size() != dim) {
+    throw util::ConfigError("coordinate search x0 dimension mismatch");
+  }
+  if (!(options.initial_step > 0.0) || !(options.min_step > 0.0)) {
+    throw util::ConfigError("coordinate search steps must be positive");
+  }
+  util::SeedStream eval_seeds(options.seed ^ 0xC0095EEDULL);
+
+  OptResult result;
+  std::vector<double> center = clamped(x0, options.lower, options.upper);
+  double h = options.initial_step;
+
+  const auto sample = [&](std::span<const double> x) {
+    const double v = objective.evaluate(x, eval_seeds.next());
+    ++result.evaluations;
+    return v;
+  };
+
+  double center_value = sample(center);
+  result.best_point = center;
+  result.best_value = center_value;
+  result.reason = StopReason::kMaxIterations;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double best = center_value;
+    std::vector<double> next_center = center;
+    bool moved = false;
+    for (std::size_t axis = 0; axis < dim; ++axis) {
+      for (const double sign : {1.0, -1.0}) {
+        if (result.evaluations >= options.max_evaluations) break;
+        std::vector<double> candidate = center;
+        candidate[axis] =
+            std::clamp(candidate[axis] + sign * h, options.lower, options.upper);
+        const double value = sample(candidate);
+        if (value > best) {
+          best = value;
+          next_center = std::move(candidate);
+          moved = true;
+        }
+      }
+    }
+    result.trace.push_back({iter, center_value, best, h, result.evaluations, moved});
+    if (best > result.best_value) {
+      result.best_value = best;
+      result.best_point = next_center;
+    }
+    if (moved) {
+      center = std::move(next_center);
+      center_value = best;
+    } else {
+      h /= 2.0;
+    }
+    if (h < options.min_step) {
+      result.reason = StopReason::kMinStep;
+      break;
+    }
+    if (result.evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+  }
+  return result;
+}
+
+OptResult nelder_mead(Objective& objective, std::span<const double> x0,
+                      const NelderMeadOptions& options) {
+  const std::size_t dim = objective.dimension();
+  if (x0.size() != dim) {
+    throw util::ConfigError("nelder-mead x0 dimension mismatch");
+  }
+  if (!(options.initial_scale > 0.0)) {
+    throw util::ConfigError("nelder-mead initial scale must be positive");
+  }
+  util::SeedStream eval_seeds(options.seed ^ 0x7E15EEDULL);
+
+  OptResult result;
+  const auto sample = [&](std::span<const double> x) {
+    const double v = objective.evaluate(x, eval_seeds.next());
+    ++result.evaluations;
+    return v;
+  };
+  const auto clamp_point = [&](std::vector<double>& x) {
+    for (double& v : x) v = std::clamp(v, options.lower, options.upper);
+  };
+
+  // Initial simplex: x0 plus one offset vertex per axis.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  simplex.reserve(dim + 1);
+  simplex.push_back(clamped(x0, options.lower, options.upper));
+  for (std::size_t axis = 0; axis < dim; ++axis) {
+    auto vertex = simplex.front();
+    vertex[axis] += options.initial_scale;
+    clamp_point(vertex);
+    simplex.push_back(std::move(vertex));
+  }
+  values.reserve(dim + 1);
+  for (const auto& vertex : simplex) values.push_back(sample(vertex));
+
+  constexpr double kAlpha = 1.0;  // reflection
+  constexpr double kGamma = 2.0;  // expansion
+  constexpr double kRho = 0.5;    // contraction
+  constexpr double kSigma = 0.5;  // shrink
+
+  result.reason = StopReason::kMaxIterations;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Order vertices: best (max) first for a maximizer.
+    std::vector<std::size_t> order(simplex.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+      return values[a] > values[b];
+    });
+    const std::size_t best_i = order.front();
+    const std::size_t worst_i = order.back();
+    const std::size_t second_worst_i = order[order.size() - 2];
+
+    result.trace.push_back({iter, values[best_i], values[best_i], 0.0,
+                            result.evaluations, true});
+    if (values[best_i] > result.best_value || result.trace.size() == 1) {
+      result.best_value = values[best_i];
+      result.best_point = simplex[best_i];
+    }
+
+    const double spread = values[best_i] - values[worst_i];
+    if (std::fabs(spread) < options.tolerance) {
+      result.reason = StopReason::kMinStep;
+      break;
+    }
+    if (result.evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(dim, 0.0);
+    for (const std::size_t i : order) {
+      if (i == worst_i) continue;
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    }
+    for (double& v : centroid) v /= static_cast<double>(dim);
+
+    const auto affine = [&](double t) {
+      std::vector<double> x(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        x[d] = centroid[d] + t * (centroid[d] - simplex[worst_i][d]);
+      }
+      clamp_point(x);
+      return x;
+    };
+
+    auto reflected = affine(kAlpha);
+    const double reflected_value = sample(reflected);
+    if (reflected_value > values[second_worst_i] &&
+        reflected_value <= values[best_i]) {
+      simplex[worst_i] = std::move(reflected);
+      values[worst_i] = reflected_value;
+      continue;
+    }
+    if (reflected_value > values[best_i]) {
+      auto expanded = affine(kGamma);
+      const double expanded_value = sample(expanded);
+      if (expanded_value > reflected_value) {
+        simplex[worst_i] = std::move(expanded);
+        values[worst_i] = expanded_value;
+      } else {
+        simplex[worst_i] = std::move(reflected);
+        values[worst_i] = reflected_value;
+      }
+      continue;
+    }
+    auto contracted = affine(-kRho);
+    const double contracted_value = sample(contracted);
+    if (contracted_value > values[worst_i]) {
+      simplex[worst_i] = std::move(contracted);
+      values[worst_i] = contracted_value;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (const std::size_t i : order) {
+      if (i == best_i) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        simplex[i][d] =
+            simplex[best_i][d] + kSigma * (simplex[i][d] - simplex[best_i][d]);
+      }
+      values[i] = sample(simplex[i]);
+    }
+  }
+
+  // Final bookkeeping in case the loop exited before trace update.
+  for (std::size_t i = 0; i < simplex.size(); ++i) {
+    if (values[i] > result.best_value) {
+      result.best_value = values[i];
+      result.best_point = simplex[i];
+    }
+  }
+  return result;
+}
+
+OptResult cross_entropy(Objective& objective, std::span<const double> x0,
+                        const CrossEntropyOptions& options) {
+  const std::size_t dim = objective.dimension();
+  if (x0.size() != dim) {
+    throw util::ConfigError("cross-entropy x0 dimension mismatch");
+  }
+  if (options.population == 0 || options.elite == 0 ||
+      options.elite > options.population) {
+    throw util::ConfigError(
+        "cross-entropy needs 0 < elite <= population samples");
+  }
+  if (!(options.initial_stddev > 0.0)) {
+    throw util::ConfigError("cross-entropy initial stddev must be positive");
+  }
+  util::Xoshiro256 rng(options.seed);
+  util::SeedStream eval_seeds(options.seed ^ 0xCE5EEDULL);
+
+  OptResult result;
+  const auto sample = [&](std::span<const double> x) {
+    const double v = objective.evaluate(x, eval_seeds.next());
+    ++result.evaluations;
+    return v;
+  };
+
+  std::vector<double> mean = clamped(x0, options.lower, options.upper);
+  std::vector<double> stddev(dim, options.initial_stddev);
+  result.best_value = -std::numeric_limits<double>::infinity();
+  result.reason = StopReason::kMaxIterations;
+
+  struct Individual {
+    std::vector<double> x;
+    double value = 0.0;
+  };
+  std::vector<Individual> population(options.population);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool truncated = false;
+    for (auto& individual : population) {
+      individual.x.resize(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        individual.x[d] = std::clamp(mean[d] + stddev[d] * rng.normal(),
+                                     options.lower, options.upper);
+      }
+      individual.value = sample(individual.x);
+      if (individual.value > result.best_value) {
+        result.best_value = individual.value;
+        result.best_point = individual.x;
+      }
+      if (result.evaluations >= options.max_evaluations) {
+        truncated = true;
+        break;
+      }
+    }
+    if (truncated) {
+      // An incomplete generation must not refit the distribution.
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+    std::partial_sort(population.begin(),
+                      population.begin() + static_cast<std::ptrdiff_t>(
+                                               options.elite),
+                      population.end(),
+                      [](const Individual& a, const Individual& b) {
+                        return a.value > b.value;
+                      });
+    // Refit mean/stddev to the elite, with smoothing.
+    for (std::size_t d = 0; d < dim; ++d) {
+      double m = 0.0;
+      for (std::size_t e = 0; e < options.elite; ++e) {
+        m += population[e].x[d];
+      }
+      m /= static_cast<double>(options.elite);
+      double var = 0.0;
+      for (std::size_t e = 0; e < options.elite; ++e) {
+        const double diff = population[e].x[d] - m;
+        var += diff * diff;
+      }
+      var /= static_cast<double>(options.elite);
+      mean[d] = options.smoothing * m + (1.0 - options.smoothing) * mean[d];
+      stddev[d] = options.smoothing * std::sqrt(var) +
+                  (1.0 - options.smoothing) * stddev[d];
+    }
+    result.trace.push_back({iter, population[0].value, result.best_value,
+                            stddev[0], result.evaluations, true});
+
+    bool converged = true;
+    for (const double sd : stddev) {
+      if (sd >= options.min_stddev) converged = false;
+    }
+    if (converged) {
+      result.reason = StopReason::kMinStep;
+      break;
+    }
+    if (result.evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+  }
+  return result;
+}
+
+OptResult simulated_annealing(Objective& objective, std::span<const double> x0,
+                              const SimulatedAnnealingOptions& options) {
+  const std::size_t dim = objective.dimension();
+  if (x0.size() != dim) {
+    throw util::ConfigError("simulated annealing x0 dimension mismatch");
+  }
+  if (!(options.initial_temperature > 0.0) ||
+      !(options.cooling > 0.0 && options.cooling < 1.0) ||
+      !(options.step > 0.0)) {
+    throw util::ConfigError("simulated annealing options out of range");
+  }
+  util::Xoshiro256 rng(options.seed);
+  util::SeedStream eval_seeds(options.seed ^ 0x5A5EEDULL);
+
+  OptResult result;
+  const auto sample = [&](std::span<const double> x) {
+    const double v = objective.evaluate(x, eval_seeds.next());
+    ++result.evaluations;
+    return v;
+  };
+
+  std::vector<double> current = clamped(x0, options.lower, options.upper);
+  double current_value = sample(current);
+  result.best_point = current;
+  result.best_value = current_value;
+  double temperature = options.initial_temperature;
+
+  std::size_t iter = 0;
+  while (result.evaluations < options.max_evaluations) {
+    std::vector<double> candidate(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      candidate[d] = std::clamp(current[d] + options.step * rng.normal(),
+                                options.lower, options.upper);
+    }
+    const double value = sample(candidate);
+    const double delta = value - current_value;
+    const bool accept =
+        delta >= 0.0 || rng.uniform() < std::exp(delta / temperature);
+    if (accept) {
+      current = std::move(candidate);
+      current_value = value;
+    }
+    if (value > result.best_value) {
+      result.best_value = value;
+      result.best_point = current;
+    }
+    result.trace.push_back(
+        {iter++, current_value, result.best_value, temperature,
+         result.evaluations, accept});
+    temperature *= options.cooling;
+  }
+  result.reason = StopReason::kMaxEvaluations;
+  return result;
+}
+
+}  // namespace ascdg::opt

@@ -1,0 +1,96 @@
+// Baseline derivative-free optimizers used to benchmark implicit
+// filtering on the CDG objective (the comparison the optimization paper
+// [5] motivates): pure random search, compass/coordinate search, and
+// Nelder–Mead. All maximize, all operate on the same noisy Objective,
+// and all respect a box constraint by clamping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+#include "opt/objective.hpp"
+
+namespace ascdg::opt {
+
+struct RandomSearchOptions {
+  std::size_t samples = 100;
+  double lower = 0.0;
+  double upper = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Evaluates `samples` uniformly random points and returns the best.
+[[nodiscard]] OptResult random_search(Objective& objective,
+                                      const RandomSearchOptions& options);
+
+struct CoordinateSearchOptions {
+  double initial_step = 0.25;
+  double min_step = 1e-3;
+  std::size_t max_iterations = 50;
+  std::size_t max_evaluations = std::numeric_limits<std::size_t>::max();
+  double lower = 0.0;
+  double upper = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Compass search: evaluates the +-h*e_i stencil (2*dim points), moves
+/// to the best improving point or halves the step.
+[[nodiscard]] OptResult coordinate_search(Objective& objective,
+                                          std::span<const double> x0,
+                                          const CoordinateSearchOptions& options);
+
+struct NelderMeadOptions {
+  double initial_scale = 0.2;  ///< initial simplex edge length
+  std::size_t max_iterations = 200;
+  std::size_t max_evaluations = std::numeric_limits<std::size_t>::max();
+  double tolerance = 1e-4;  ///< stop when simplex value spread is below
+  double lower = 0.0;
+  double upper = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Standard Nelder–Mead simplex (reflection / expansion / contraction /
+/// shrink), maximizing, with box clamping.
+[[nodiscard]] OptResult nelder_mead(Objective& objective,
+                                    std::span<const double> x0,
+                                    const NelderMeadOptions& options);
+
+struct CrossEntropyOptions {
+  std::size_t population = 30;      ///< samples per generation
+  std::size_t elite = 6;            ///< best samples refitting the distribution
+  double initial_stddev = 0.3;      ///< per-coordinate sigma of generation 0
+  double min_stddev = 1e-3;         ///< stop when all sigmas fall below
+  double smoothing = 0.7;           ///< new = s*fit + (1-s)*old
+  std::size_t max_iterations = 50;
+  std::size_t max_evaluations = std::numeric_limits<std::size_t>::max();
+  double lower = 0.0;
+  double upper = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Cross-entropy method: samples a diagonal Gaussian, refits it to the
+/// elite fraction each generation. A population-based contrast to the
+/// stencil-based implicit filtering; the distribution shrinking makes it
+/// naturally noise-tolerant.
+[[nodiscard]] OptResult cross_entropy(Objective& objective,
+                                      std::span<const double> x0,
+                                      const CrossEntropyOptions& options);
+
+struct SimulatedAnnealingOptions {
+  double initial_temperature = 0.2;  ///< in objective-value units
+  double cooling = 0.97;             ///< temperature *= cooling per step
+  double step = 0.15;                ///< proposal stddev per coordinate
+  std::size_t max_evaluations = 500;
+  double lower = 0.0;
+  double upper = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Metropolis-style simulated annealing with Gaussian proposals and a
+/// geometric cooling schedule, maximizing.
+[[nodiscard]] OptResult simulated_annealing(
+    Objective& objective, std::span<const double> x0,
+    const SimulatedAnnealingOptions& options);
+
+}  // namespace ascdg::opt

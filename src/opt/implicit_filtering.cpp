@@ -1,0 +1,178 @@
+#include "opt/implicit_filtering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::opt {
+
+namespace {
+
+void check_options(const Objective& objective, std::span<const double> x0,
+                   const ImplicitFilteringOptions& options) {
+  if (options.directions == 0) {
+    throw util::ConfigError("implicit filtering needs at least one direction");
+  }
+  if (options.halve_patience == 0) {
+    throw util::ConfigError("implicit filtering halve_patience must be >= 1");
+  }
+  if (!(options.initial_step > 0.0) || !(options.min_step > 0.0)) {
+    throw util::ConfigError("implicit filtering steps must be positive");
+  }
+  if (!(options.lower < options.upper)) {
+    throw util::ConfigError("implicit filtering box is empty (lower >= upper)");
+  }
+  if (x0.size() != objective.dimension()) {
+    throw util::ConfigError(
+        "starting point dimension " + std::to_string(x0.size()) +
+        " != objective dimension " + std::to_string(objective.dimension()));
+  }
+  if (objective.dimension() == 0) {
+    throw util::ConfigError("objective has zero dimension");
+  }
+}
+
+std::vector<double> clamped(std::span<const double> x, double lo, double hi) {
+  std::vector<double> out(x.begin(), x.end());
+  for (double& v : out) v = std::clamp(v, lo, hi);
+  return out;
+}
+
+/// One stencil direction: either a random unit vector or +-e_i.
+std::vector<double> make_direction(DirectionMode mode, std::size_t index,
+                                   std::size_t dim, util::Xoshiro256& rng) {
+  std::vector<double> d(dim, 0.0);
+  if (mode == DirectionMode::kCoordinate) {
+    // 2*dim stencil points cycled: +e0, -e0, +e1, -e1, ...
+    const std::size_t axis = (index / 2) % dim;
+    d[axis] = (index % 2 == 0) ? 1.0 : -1.0;
+    return d;
+  }
+  if (mode == DirectionMode::kRademacher) {
+    for (double& v : d) v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    return d;
+  }
+  if (mode == DirectionMode::kSparse) {
+    bool any = false;
+    while (!any) {
+      for (double& v : d) {
+        if (rng.bernoulli(0.25)) {
+          v = rng.bernoulli(0.5) ? 1.0 : -1.0;
+          any = true;
+        } else {
+          v = 0.0;
+        }
+      }
+    }
+    return d;
+  }
+  double norm = 0.0;
+  do {
+    norm = 0.0;
+    for (double& v : d) {
+      v = rng.normal();
+      norm += v * v;
+    }
+  } while (norm == 0.0);
+  norm = std::sqrt(norm);
+  for (double& v : d) v /= norm;
+  return d;
+}
+
+}  // namespace
+
+OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
+                             const ImplicitFilteringOptions& options) {
+  check_options(objective, x0, options);
+  const std::size_t dim = objective.dimension();
+  util::Xoshiro256 rng(options.seed);
+  std::uint64_t seed_state = options.seed ^ 0xA5CD6F11E51D5EEDULL;
+  util::SeedStream eval_seeds(util::splitmix64_next(seed_state));
+
+  OptResult result;
+  std::vector<double> center = clamped(x0, options.lower, options.upper);
+  double h = options.initial_step;
+
+  std::size_t evaluations = 0;
+  const auto sample = [&](std::span<const double> x) {
+    const double value = objective.evaluate(x, eval_seeds.next());
+    ++evaluations;
+    return value;
+  };
+
+  double center_value = sample(center);
+  result.best_point = center;
+  result.best_value = center_value;
+  result.reason = StopReason::kMaxIterations;
+  std::size_t stale_rounds = 0;
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+    // Center resampling (noise modification #2).
+    if (options.resample_center && iter > 0) center_value = sample(center);
+
+    double best = center_value;
+    std::vector<double> next_center = center;
+    bool moved = false;
+
+    for (std::size_t d = 0; d < options.directions; ++d) {
+      if (evaluations >= options.max_evaluations) break;
+      const auto direction =
+          make_direction(options.direction_mode,
+                         iter * options.directions + d, dim, rng);
+      std::vector<double> candidate(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        candidate[i] =
+            std::clamp(center[i] + h * direction[i], options.lower, options.upper);
+      }
+      const double value = sample(candidate);
+      if (value > best) {
+        best = value;
+        next_center = std::move(candidate);
+        moved = true;
+      }
+    }
+
+    result.trace.push_back(
+        {iter, center_value, best, h, evaluations, moved});
+    if (best > result.best_value) {
+      result.best_value = best;
+      result.best_point = next_center;
+    }
+
+    if (!moved) {
+      if (++stale_rounds >= options.halve_patience) {
+        h /= 2.0;
+        stale_rounds = 0;
+      }
+    } else {
+      stale_rounds = 0;
+      center = std::move(next_center);
+      center_value = best;
+    }
+
+    if (options.target_value.has_value() && center_value >= *options.target_value) {
+      result.reason = StopReason::kTargetReached;
+      break;
+    }
+    if (h < options.min_step) {
+      result.reason = StopReason::kMinStep;
+      break;
+    }
+    if (evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
+  }
+
+  result.evaluations = evaluations;
+  return result;
+}
+
+}  // namespace ascdg::opt

@@ -1,0 +1,61 @@
+// Implicit filtering (paper Algorithm 1, after Kelley [6] and Gal et
+// al. [5]): a derivative-free stencil search for noisy objectives.
+//
+// At each iteration the algorithm samples the objective at n points a
+// distance h from the current center along random directions; it moves
+// the center to the best improving point, or halves h when the center
+// is already the best ("to reduce the possibility of overshooting the
+// maximum"). Two modifications handle the dynamic simulation noise
+// (paper §IV-E): the objective itself averages N samples per point, and
+// the center is re-sampled every iteration "to reduce the effect of
+// extremely high noise".
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+
+#include "opt/objective.hpp"
+
+namespace ascdg::opt {
+
+enum class DirectionMode {
+  kRandomSphere,  ///< uniformly random unit directions: each coordinate
+                  ///< moves ~h/sqrt(dim) — precise but slow in high dim
+  kCoordinate,    ///< +-e_i stencil, cycled (classic implicit filtering)
+  kRademacher,    ///< random +-1 per coordinate (SPSA-style): every
+                  ///< coordinate moves a full +-h per stencil point,
+                  ///< much faster in high-dimensional template spaces
+  kSparse,        ///< random +-1 on a random ~quarter of the coordinates:
+                  ///< targeted moves that can fix one bad setting without
+                  ///< disturbing the rest; good when coordinates are
+                  ///< weakly coupled and noise is high
+};
+
+struct ImplicitFilteringOptions {
+  std::size_t directions = 8;   ///< n — stencil points per iteration
+  double initial_step = 0.25;   ///< h — initial stencil size
+  double min_step = 1e-3;       ///< stop when h falls below this
+  std::size_t max_iterations = 50;
+  std::size_t max_evaluations = std::numeric_limits<std::size_t>::max();
+  std::optional<double> target_value;  ///< stop once center reaches this
+  bool resample_center = true;  ///< re-sample the center every iteration
+  /// Consecutive improvement-free iterations required before h is
+  /// halved. 1 is the textbook algorithm; larger values make the search
+  /// robust to unlucky noisy rounds at a useful step size.
+  std::size_t halve_patience = 1;
+  DirectionMode direction_mode = DirectionMode::kRandomSphere;
+  double lower = 0.0;  ///< box lower bound (every coordinate)
+  double upper = 1.0;  ///< box upper bound
+  std::uint64_t seed = 1;
+};
+
+/// Runs implicit filtering from `x0` (clamped into the box).
+/// Throws util::ConfigError for malformed options (directions == 0,
+/// non-positive step, lower >= upper, or x0 dimension mismatch).
+[[nodiscard]] OptResult implicit_filtering(Objective& objective,
+                                           std::span<const double> x0,
+                                           const ImplicitFilteringOptions& options);
+
+}  // namespace ascdg::opt

@@ -1,0 +1,72 @@
+// The optimization-facing view of the CDG problem (paper §IV-E).
+//
+// The mapping from template settings to coverage is unknown and can only
+// be *sampled*, at the cost of N simulations per sample, with dynamic
+// noise from the random stimuli generation. Objective models exactly
+// that: a noisy oracle. Optimizers in this module MAXIMIZE the
+// objective (the paper maximizes the approximated-target hit rate).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ascdg::opt {
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  /// Dimension of the search space (points live in [lower, upper]^dim,
+  /// bounds are the optimizer's, typically [0,1]).
+  [[nodiscard]] virtual std::size_t dimension() const noexcept = 0;
+
+  /// One noisy sample of the objective at `x`. `eval_seed` determines
+  /// the noise realization: the same (x, eval_seed) must return the
+  /// same value (this keeps whole optimization runs reproducible).
+  [[nodiscard]] virtual double evaluate(std::span<const double> x,
+                                        std::uint64_t eval_seed) = 0;
+};
+
+/// Why an optimizer stopped.
+enum class StopReason {
+  kMaxIterations,
+  kMinStep,
+  kTargetReached,
+  kMaxEvaluations,
+};
+
+[[nodiscard]] constexpr const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+    case StopReason::kMinStep:
+      return "min-step";
+    case StopReason::kTargetReached:
+      return "target-reached";
+    case StopReason::kMaxEvaluations:
+      return "max-evaluations";
+  }
+  return "?";
+}
+
+/// One optimizer iteration, for progress plots (paper Fig. 6 shows
+/// "maximal value of the target function per optimization iteration").
+struct IterationRecord {
+  std::size_t iteration = 0;
+  double center_value = 0.0;  ///< objective at the iteration's center
+  double best_value = 0.0;    ///< max objective seen this iteration
+  double step = 0.0;          ///< stencil size h during the iteration
+  std::size_t evaluations = 0;  ///< cumulative objective evaluations
+  bool moved = false;           ///< did the center move this iteration
+};
+
+struct OptResult {
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  std::vector<IterationRecord> trace;
+  std::size_t evaluations = 0;
+  StopReason reason = StopReason::kMaxIterations;
+};
+
+}  // namespace ascdg::opt

@@ -1,0 +1,105 @@
+#include "opt/synthetic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::opt {
+
+namespace {
+
+double squared_distance(std::span<const double> x,
+                        std::span<const double> y) noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    total += d * d;
+  }
+  return total;
+}
+
+/// Mixes the point into the seed so the same (x, seed) pair always sees
+/// the same noise, but different points see independent noise.
+std::uint64_t point_seed(std::span<const double> x, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  for (const double v : x) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    state ^= bits;
+    (void)util::splitmix64_next(state);
+  }
+  return state;
+}
+
+}  // namespace
+
+double NoisyQuadratic::true_value(std::span<const double> x) const noexcept {
+  return 1.0 - squared_distance(x, optimum_);
+}
+
+double NoisyQuadratic::evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) {
+  ASCDG_ASSERT(x.size() == optimum_.size(), "dimension mismatch");
+  util::Xoshiro256 rng(point_seed(x, eval_seed));
+  return true_value(x) + sigma_ * rng.normal();
+}
+
+double BernoulliHill::hit_probability(std::span<const double> x) const noexcept {
+  return peak_ * std::exp(-sharpness_ * squared_distance(x, optimum_));
+}
+
+double BernoulliHill::evaluate(std::span<const double> x,
+                               std::uint64_t eval_seed) {
+  ASCDG_ASSERT(x.size() == optimum_.size(), "dimension mismatch");
+  util::Xoshiro256 rng(point_seed(x, eval_seed));
+  const double p = hit_probability(x);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples_; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  draws_ += samples_;
+  return static_cast<double>(hits) / static_cast<double>(samples_);
+}
+
+double FlatSpike::hit_probability(std::span<const double> x) const noexcept {
+  const double dist2 = squared_distance(x, optimum_);
+  return dist2 <= radius_ * radius_ ? 0.8 : 0.0;
+}
+
+double FlatSpike::evaluate(std::span<const double> x, std::uint64_t eval_seed) {
+  ASCDG_ASSERT(x.size() == optimum_.size(), "dimension mismatch");
+  util::Xoshiro256 rng(point_seed(x, eval_seed));
+  const double p = hit_probability(x);
+  if (p == 0.0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < samples_; ++i) {
+    if (rng.bernoulli(p)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples_);
+}
+
+TwoPeaks::TwoPeaks(std::vector<double> global_opt, std::vector<double> local_opt,
+                   double local_height, double sigma)
+    : global_(std::move(global_opt)),
+      local_(std::move(local_opt)),
+      local_height_(local_height),
+      sigma_(sigma) {
+  ASCDG_ASSERT(global_.size() == local_.size(), "peak dimension mismatch");
+  ASCDG_ASSERT(local_height_ < 1.0, "local peak must be lower than global");
+}
+
+double TwoPeaks::true_value(std::span<const double> x) const noexcept {
+  const double g = std::exp(-8.0 * squared_distance(x, global_));
+  const double l = local_height_ * std::exp(-8.0 * squared_distance(x, local_));
+  return g > l ? g : l;
+}
+
+double TwoPeaks::evaluate(std::span<const double> x, std::uint64_t eval_seed) {
+  ASCDG_ASSERT(x.size() == global_.size(), "dimension mismatch");
+  util::Xoshiro256 rng(point_seed(x, eval_seed));
+  return true_value(x) + sigma_ * rng.normal();
+}
+
+}  // namespace ascdg::opt

@@ -1,0 +1,138 @@
+// Synthetic noisy objectives with known optima, used by the optimizer
+// unit/property tests and the hyperparameter ablation benches. They
+// mirror the noise structure of the real CDG objective: an underlying
+// smooth hit-probability surface observed only through the empirical
+// mean of N Bernoulli samples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "opt/objective.hpp"
+
+namespace ascdg::opt {
+
+/// Smooth concave bowl with additive Gaussian noise:
+///   f(x) = 1 - ||x - optimum||^2 + sigma * N(0,1).
+class NoisyQuadratic final : public Objective {
+ public:
+  NoisyQuadratic(std::vector<double> optimum, double sigma)
+      : optimum_(std::move(optimum)), sigma_(sigma) {}
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return optimum_.size();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override;
+
+  /// Noise-free value, for test assertions.
+  [[nodiscard]] double true_value(std::span<const double> x) const noexcept;
+
+ private:
+  std::vector<double> optimum_;
+  double sigma_;
+};
+
+/// Bernoulli objective shaped like the CDG problem: the underlying hit
+/// probability decays exponentially with the distance from the optimum,
+///   p(x) = peak * exp(-sharpness * ||x - optimum||^2),
+/// and evaluate() returns the mean of `samples_per_eval` Bernoulli(p)
+/// draws — the exact noise model of T_N(t).
+class BernoulliHill final : public Objective {
+ public:
+  BernoulliHill(std::vector<double> optimum, double peak, double sharpness,
+                std::size_t samples_per_eval)
+      : optimum_(std::move(optimum)),
+        peak_(peak),
+        sharpness_(sharpness),
+        samples_(samples_per_eval) {}
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return optimum_.size();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override;
+
+  [[nodiscard]] double hit_probability(std::span<const double> x) const noexcept;
+
+  /// Total Bernoulli draws made so far (the "simulations" cost metric).
+  [[nodiscard]] std::size_t draws() const noexcept { return draws_; }
+
+ private:
+  std::vector<double> optimum_;
+  double peak_;
+  double sharpness_;
+  std::size_t samples_;
+  std::size_t draws_ = 0;
+};
+
+/// Almost-flat landscape with a narrow spike at the optimum — the
+/// pathological case §IV-A describes (no gradient information anywhere
+/// except next to the target). Used by the approximated-target ablation.
+class FlatSpike final : public Objective {
+ public:
+  FlatSpike(std::vector<double> optimum, double spike_radius,
+            std::size_t samples_per_eval)
+      : optimum_(std::move(optimum)),
+        radius_(spike_radius),
+        samples_(samples_per_eval) {}
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return optimum_.size();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override;
+
+  [[nodiscard]] double hit_probability(std::span<const double> x) const noexcept;
+
+ private:
+  std::vector<double> optimum_;
+  double radius_;
+  std::size_t samples_;
+};
+
+/// Two-peak surface (local + global optimum) with additive noise, for
+/// checking that trace/step dynamics behave sensibly on multimodal
+/// landscapes.
+class TwoPeaks final : public Objective {
+ public:
+  TwoPeaks(std::vector<double> global_opt, std::vector<double> local_opt,
+           double local_height, double sigma);
+
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return global_.size();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override;
+
+  [[nodiscard]] double true_value(std::span<const double> x) const noexcept;
+
+ private:
+  std::vector<double> global_;
+  std::vector<double> local_;
+  double local_height_;
+  double sigma_;
+};
+
+/// Decorator that counts evaluations of an inner objective (for budget
+/// assertions in tests and benches).
+class CountingObjective final : public Objective {
+ public:
+  explicit CountingObjective(Objective& inner) noexcept : inner_(&inner) {}
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override {
+    ++count_;
+    return inner_->evaluate(x, eval_seed);
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+ private:
+  Objective* inner_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ascdg::opt

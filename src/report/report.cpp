@@ -1,0 +1,232 @@
+#include "report/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ascdg::report {
+
+namespace {
+
+using util::Cell;
+using util::CellColor;
+
+CellColor status_color(coverage::HitStatus status) {
+  switch (status) {
+    case coverage::HitStatus::kNever:
+      return CellColor::kRed;
+    case coverage::HitStatus::kLightly:
+      return CellColor::kOrange;
+    case coverage::HitStatus::kWell:
+      return CellColor::kGreen;
+  }
+  return CellColor::kDefault;
+}
+
+/// The four phases of a flow result, in report order.
+std::array<const cdg::PhaseOutcome*, 4> phases_of(const cdg::FlowResult& flow) {
+  return {&flow.before, &flow.sampling_phase, &flow.optimization_phase,
+          &flow.harvest_phase};
+}
+
+}  // namespace
+
+util::Table phase_table(const coverage::CoverageSpace& space,
+                        std::span<const coverage::EventId> family_events,
+                        const cdg::FlowResult& flow) {
+  std::vector<std::string> headers{"Event"};
+  for (const auto* phase : phases_of(flow)) {
+    headers.push_back(phase->name + " #hits");
+    headers.push_back("hit rate");
+  }
+  util::Table table(headers);
+  for (const auto event : family_events) {
+    std::vector<Cell> row;
+    row.push_back({space.name(event), CellColor::kBold});
+    for (const auto* phase : phases_of(flow)) {
+      const std::size_t hits = phase->stats.sims() > 0 ? phase->stats.hits(event) : 0;
+      const double rate =
+          phase->stats.sims() > 0 ? phase->stats.hit_rate(event) : 0.0;
+      const CellColor color = status_color(
+          coverage::classify_hits(hits, phase->stats.sims()));
+      row.push_back({util::format_count(hits), color});
+      row.push_back({util::format_percent(rate), color});
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+StatusCounts count_status(const coverage::SimStats& stats,
+                          std::span<const coverage::EventId> events) {
+  StatusCounts counts;
+  for (const auto event : events) {
+    const std::size_t hits = stats.sims() > 0 ? stats.hits(event) : 0;
+    switch (coverage::classify_hits(hits, stats.sims())) {
+      case coverage::HitStatus::kNever:
+        ++counts.never;
+        break;
+      case coverage::HitStatus::kLightly:
+        ++counts.lightly;
+        break;
+      case coverage::HitStatus::kWell:
+        ++counts.well;
+        break;
+    }
+  }
+  return counts;
+}
+
+util::Table status_table(const coverage::CoverageSpace& space,
+                         std::span<const coverage::EventId> events,
+                         const cdg::FlowResult& flow) {
+  (void)space;
+  util::Table table({"Phase", "never-hit", "lightly-hit", "well-hit", "sims"});
+  for (const auto* phase : phases_of(flow)) {
+    const StatusCounts counts = count_status(phase->stats, events);
+    table.add_row(std::vector<Cell>{
+        {phase->name, CellColor::kBold},
+        {std::to_string(counts.never), CellColor::kRed},
+        {std::to_string(counts.lightly), CellColor::kOrange},
+        {std::to_string(counts.well), CellColor::kGreen},
+        {util::format_count(phase->sims), CellColor::kDefault}});
+  }
+  return table;
+}
+
+void render_status_bars(std::ostream& os,
+                        std::span<const coverage::EventId> events,
+                        const cdg::FlowResult& flow, bool use_color) {
+  const std::size_t total = events.size();
+  if (total == 0) return;
+  constexpr std::size_t kWidth = 64;
+  const char* red = use_color ? "\x1b[31m" : "";
+  const char* orange = use_color ? "\x1b[33m" : "";
+  const char* green = use_color ? "\x1b[32m" : "";
+  const char* reset = use_color ? "\x1b[0m" : "";
+
+  for (const auto* phase : phases_of(flow)) {
+    const StatusCounts counts = count_status(phase->stats, events);
+    const auto bar_len = [&](std::size_t n) {
+      return (n * kWidth + total / 2) / total;
+    };
+    os << "  " << phase->name << std::string(
+        phase->name.size() < 22 ? 22 - phase->name.size() : 1, ' ')
+       << '[';
+    os << red << std::string(bar_len(counts.never), '#') << reset;
+    os << orange << std::string(bar_len(counts.lightly), '=') << reset;
+    os << green << std::string(bar_len(counts.well), '+') << reset;
+    const std::size_t used =
+        bar_len(counts.never) + bar_len(counts.lightly) + bar_len(counts.well);
+    if (used < kWidth) os << std::string(kWidth - used, ' ');
+    os << "]  never=" << counts.never << " lightly=" << counts.lightly
+       << " well=" << counts.well << '\n';
+  }
+}
+
+void render_trace(std::ostream& os, const opt::OptResult& result,
+                  std::size_t height) {
+  if (result.trace.empty()) {
+    os << "  (no optimization iterations)\n";
+    return;
+  }
+  double lo = result.trace.front().best_value;
+  double hi = lo;
+  for (const auto& record : result.trace) {
+    lo = std::min(lo, record.best_value);
+    hi = std::max(hi, record.best_value);
+  }
+  if (hi == lo) hi = lo + 1.0;
+  const std::size_t columns = result.trace.size();
+
+  // Top to bottom rows of the plot.
+  for (std::size_t row = height; row-- > 0;) {
+    const double level = lo + (hi - lo) * static_cast<double>(row) /
+                                  static_cast<double>(height - 1);
+    char label[32];
+    std::snprintf(label, sizeof label, "%8.3f |", level);
+    os << label;
+    for (std::size_t c = 0; c < columns; ++c) {
+      const double v = result.trace[c].best_value;
+      const double cell = (v - lo) / (hi - lo) * static_cast<double>(height - 1);
+      os << (std::llround(cell) == static_cast<long long>(row) ? " *  " : "    ");
+    }
+    os << '\n';
+  }
+  os << "         +";
+  for (std::size_t c = 0; c < columns; ++c) os << "----";
+  os << "\n          ";
+  for (std::size_t c = 0; c < columns; ++c) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%3zu ", c + 1);
+    os << label;
+  }
+  os << "  (iteration)\n";
+}
+
+void write_flow_markdown(const std::filesystem::path& path,
+                         const coverage::CoverageSpace& space,
+                         std::span<const coverage::EventId> family_events,
+                         const cdg::FlowResult& flow) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw util::Error("cannot create directory '" +
+                        path.parent_path().string() + "': " + ec.message());
+    }
+  }
+  std::ofstream os(path);
+  if (!os) {
+    throw util::Error("cannot open '" + path.string() + "' for writing");
+  }
+
+  os << "# AS-CDG flow report\n\n"
+     << "Seed template: `" << flow.seed_template << "`\n\n"
+     << phase_caption(flow) << "\n\n"
+     << "## Hit statistics per phase\n\n";
+  phase_table(space, family_events, flow).render_markdown(os);
+
+  os << "\n## Status summary\n\n";
+  status_table(space, family_events, flow).render_markdown(os);
+
+  os << "\n## Optimization progress\n\n"
+     << "| iteration | center value | best value | step | moved |\n"
+     << "| ---: | ---: | ---: | ---: | --- |\n";
+  for (const auto& record : flow.optimization.trace) {
+    os << "| " << record.iteration + 1 << " | " << record.center_value
+       << " | " << record.best_value << " | " << record.step << " | "
+       << (record.moved ? "yes" : "no") << " |\n";
+  }
+
+  os << "\n## Harvested test-template\n\n```\n"
+     << tgen::to_text(flow.best_template) << "```\n";
+  os.flush();
+  if (!os) {
+    throw util::Error("failed writing '" + path.string() + "'");
+  }
+}
+
+std::string phase_caption(const cdg::FlowResult& flow) {
+  std::string caption;
+  caption += "Before CDG (" + util::format_count(flow.before.sims) + " sims); ";
+  caption += "Sampling (" + std::to_string(flow.sampling.samples.size()) +
+             " tests x " +
+             std::to_string(flow.sampling.samples.empty()
+                                ? 0
+                                : flow.sampling.samples.front().stats.sims()) +
+             " sims each); ";
+  caption += "Optimization (" + std::to_string(flow.optimization.trace.size()) +
+             " iterations, " + util::format_count(flow.optimization_phase.sims) +
+             " sims); ";
+  caption += "Best test (" + util::format_count(flow.harvest_phase.sims) +
+             " sims)";
+  return caption;
+}
+
+}  // namespace ascdg::report

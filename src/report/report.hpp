@@ -1,0 +1,71 @@
+// Rendering of the paper's result artifacts:
+//   * Fig. 3 / Fig. 4 — per-event hit statistics across the flow phases,
+//     with the IBM color convention (red = never hit, orange = lightly
+//     hit, green = well hit);
+//   * Fig. 5 — event-status histogram per phase for a cross product;
+//   * Fig. 6 — maximal target value per optimization iteration.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "cdg/runner.hpp"
+#include "coverage/space.hpp"
+#include "opt/objective.hpp"
+#include "util/table.hpp"
+
+namespace ascdg::report {
+
+/// Builds the Fig. 3/4-style table: one row per family event, one
+/// (#hits, hit rate) column pair per phase.
+[[nodiscard]] util::Table phase_table(
+    const coverage::CoverageSpace& space,
+    std::span<const coverage::EventId> family_events,
+    const cdg::FlowResult& flow);
+
+/// Event-status counts over an event set.
+struct StatusCounts {
+  std::size_t never = 0;
+  std::size_t lightly = 0;
+  std::size_t well = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return never + lightly + well;
+  }
+};
+
+[[nodiscard]] StatusCounts count_status(
+    const coverage::SimStats& stats,
+    std::span<const coverage::EventId> events);
+
+/// Builds the Fig. 5-style table: status counts at each flow phase.
+[[nodiscard]] util::Table status_table(
+    const coverage::CoverageSpace& space,
+    std::span<const coverage::EventId> events, const cdg::FlowResult& flow);
+
+/// Renders a Fig. 5-style horizontal bar chart of status counts per
+/// phase (ASCII, colored when `use_color`).
+void render_status_bars(std::ostream& os,
+                        std::span<const coverage::EventId> events,
+                        const cdg::FlowResult& flow, bool use_color = true);
+
+/// Renders a Fig. 6-style ASCII line chart: max target value per
+/// optimization iteration.
+void render_trace(std::ostream& os, const opt::OptResult& result,
+                  std::size_t height = 16);
+
+/// One-paragraph phase header ("Sampling phase (200 tests x 100 sims)").
+[[nodiscard]] std::string phase_caption(const cdg::FlowResult& flow);
+
+/// Writes a complete markdown report of a flow run — caption, the
+/// Fig. 3/4-style phase table, the status summary, the optimization
+/// trace as a markdown table, and the harvested template — to `path`.
+/// Throws util::Error on IO failure.
+void write_flow_markdown(const std::filesystem::path& path,
+                         const coverage::CoverageSpace& space,
+                         std::span<const coverage::EventId> family_events,
+                         const cdg::FlowResult& flow);
+
+}  // namespace ascdg::report

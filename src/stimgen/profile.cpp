@@ -1,0 +1,27 @@
+#include "stimgen/profile.hpp"
+
+namespace ascdg::stimgen {
+
+namespace {
+thread_local ScopedDrawProfiler* g_active = nullptr;
+}  // namespace
+
+ScopedDrawProfiler::ScopedDrawProfiler() : previous_(g_active) {
+  g_active = this;
+}
+
+ScopedDrawProfiler::~ScopedDrawProfiler() { g_active = previous_; }
+
+std::size_t ScopedDrawProfiler::total() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, count] : counts_) total += count;
+  return total;
+}
+
+void note_draw(std::string_view name) {
+  if (g_active == nullptr) return;
+  auto [it, inserted] = g_active->counts_.try_emplace(std::string(name), 0);
+  ++it->second;
+}
+
+}  // namespace ascdg::stimgen

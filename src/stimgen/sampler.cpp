@@ -1,0 +1,96 @@
+#include "stimgen/sampler.hpp"
+
+#include <vector>
+
+#include "stimgen/profile.hpp"
+#include "util/error.hpp"
+
+namespace ascdg::stimgen {
+
+using util::NotFoundError;
+using util::ValidationError;
+
+const tgen::Parameter* ParameterSampler::lookup(std::string_view name) const {
+  if (overrides_ != nullptr) {
+    if (const auto* p = overrides_->find(name)) return p;
+  }
+  return defaults_->find(name);
+}
+
+bool ParameterSampler::has(std::string_view name) const noexcept {
+  return lookup(name) != nullptr;
+}
+
+tgen::Value ParameterSampler::draw(std::string_view name) {
+  note_draw(name);
+  const tgen::Parameter* p = lookup(name);
+  if (p == nullptr) {
+    throw NotFoundError("no parameter named '" + std::string(name) + "'");
+  }
+  const auto* wp = std::get_if<tgen::WeightParameter>(p);
+  if (wp == nullptr) {
+    throw ValidationError("parameter '" + std::string(name) +
+                          "' is not a weight parameter");
+  }
+  return draw_from(*wp, *rng_);
+}
+
+std::int64_t ParameterSampler::draw_int_value(std::string_view name) {
+  const tgen::Value v = draw(name);
+  if (!v.is_int()) {
+    throw ValidationError("parameter '" + std::string(name) +
+                          "' produced non-integer value '" + v.to_string() +
+                          "'");
+  }
+  return v.as_int();
+}
+
+std::int64_t ParameterSampler::draw_range(std::string_view name) {
+  note_draw(name);
+  const tgen::Parameter* p = lookup(name);
+  if (p == nullptr) {
+    throw NotFoundError("no parameter named '" + std::string(name) + "'");
+  }
+  if (const auto* rp = std::get_if<tgen::RangeParameter>(p)) {
+    return draw_from(*rp, *rng_);
+  }
+  if (const auto* sp = std::get_if<tgen::SubrangeParameter>(p)) {
+    return draw_from(*sp, *rng_);
+  }
+  throw ValidationError("parameter '" + std::string(name) +
+                        "' is not a range or subrange parameter");
+}
+
+tgen::Value draw_from(const tgen::WeightParameter& param,
+                      util::Xoshiro256& rng) {
+  std::vector<double> weights;
+  weights.reserve(param.entries.size());
+  for (const auto& entry : param.entries) weights.push_back(entry.weight);
+  const std::size_t index = rng.weighted_index(weights);
+  if (index >= param.entries.size()) {
+    throw ValidationError("weight parameter '" + param.name +
+                          "' has zero total weight");
+  }
+  return param.entries[index].value;
+}
+
+std::int64_t draw_from(const tgen::RangeParameter& param,
+                       util::Xoshiro256& rng) {
+  return rng.uniform_i64(param.lo, param.hi);
+}
+
+std::int64_t draw_from(const tgen::SubrangeParameter& param,
+                       util::Xoshiro256& rng) {
+  std::vector<double> weights;
+  weights.reserve(param.entries.size());
+  for (const auto& entry : param.entries) weights.push_back(entry.weight);
+  const std::size_t index = rng.weighted_index(weights);
+  if (index >= param.entries.size()) {
+    throw ValidationError("subrange parameter '" + param.name +
+                          "' has zero total weight");
+  }
+  const auto& subrange = param.entries[index];
+  return rng.uniform_i64(subrange.lo, subrange.hi);
+}
+
+}  // namespace ascdg::stimgen

@@ -1,0 +1,117 @@
+#include "tac/tac.hpp"
+
+#include <algorithm>
+
+namespace ascdg::tac {
+
+double Tac::hit_probability(std::string_view template_name,
+                            coverage::EventId event) const {
+  return repo_->stats(template_name).hit_rate(event);
+}
+
+std::vector<TemplateScore> Tac::best_templates(
+    std::span<const WeightedEvent> events, std::size_t n) const {
+  std::vector<TemplateScore> scored;
+  for (const auto& name : repo_->template_names()) {
+    const auto& stats = repo_->stats(name);
+    double score = 0.0;
+    for (const auto& [event, weight] : events) {
+      score += weight * stats.hit_rate(event);
+    }
+    if (score > 0.0) scored.push_back({name, score, stats.sims()});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const TemplateScore& a, const TemplateScore& b) {
+                     return a.score > b.score;
+                   });
+  if (scored.size() > n) scored.resize(n);
+  return scored;
+}
+
+std::vector<TemplateScore> Tac::best_templates(
+    std::span<const coverage::EventId> events, std::size_t n) const {
+  std::vector<WeightedEvent> weighted;
+  weighted.reserve(events.size());
+  for (const auto event : events) weighted.push_back({event, 1.0});
+  return best_templates(weighted, n);
+}
+
+std::vector<coverage::EventId> Tac::uncovered_events() const {
+  const coverage::SimStats total = repo_->total();
+  std::vector<coverage::EventId> out;
+  for (std::size_t i = 0; i < total.event_count(); ++i) {
+    const coverage::EventId id{static_cast<std::uint32_t>(i)};
+    if (total.hits(id) == 0) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<TemplateScore> Tac::templates_hitting(
+    coverage::EventId event) const {
+  const WeightedEvent single{event, 1.0};
+  return best_templates(std::span<const WeightedEvent>(&single, 1),
+                        repo_->template_names().size());
+}
+
+std::vector<std::string> Tac::suggest_regression_policy() const {
+  const auto names = repo_->template_names();
+  const std::size_t event_count = repo_->event_count();
+
+  // Remaining events each template would newly cover.
+  std::vector<bool> covered(event_count, false);
+  std::vector<std::string> policy;
+  std::vector<bool> used(names.size(), false);
+
+  for (;;) {
+    std::size_t best_index = names.size();
+    std::size_t best_gain = 0;
+    double best_rate_sum = 0.0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (used[i]) continue;
+      const auto& stats = repo_->stats(names[i]);
+      if (stats.sims() == 0) continue;
+      std::size_t gain = 0;
+      double rate_sum = 0.0;
+      for (std::size_t e = 0; e < event_count; ++e) {
+        const coverage::EventId id{static_cast<std::uint32_t>(e)};
+        if (!covered[e] && stats.hits(id) > 0) {
+          ++gain;
+          rate_sum += stats.hit_rate(id);
+        }
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && rate_sum > best_rate_sum)) {
+        best_index = i;
+        best_gain = gain;
+        best_rate_sum = rate_sum;
+      }
+    }
+    if (best_index == names.size() || best_gain == 0) break;
+    used[best_index] = true;
+    policy.push_back(names[best_index]);
+    const auto& stats = repo_->stats(names[best_index]);
+    for (std::size_t e = 0; e < event_count; ++e) {
+      const coverage::EventId id{static_cast<std::uint32_t>(e)};
+      if (stats.hits(id) > 0) covered[e] = true;
+    }
+  }
+  return policy;
+}
+
+std::vector<coverage::EventId> Tac::reliably_covered_events(
+    double min_rate) const {
+  std::vector<coverage::EventId> out;
+  const auto names = repo_->template_names();
+  for (std::size_t e = 0; e < repo_->event_count(); ++e) {
+    const coverage::EventId id{static_cast<std::uint32_t>(e)};
+    for (const auto& name : names) {
+      if (repo_->stats(name).hit_rate(id) >= min_rate) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ascdg::tac

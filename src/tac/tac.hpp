@@ -1,0 +1,80 @@
+// Template-Aware Coverage (paper §IV-B, after Gal et al. DAC'17).
+//
+// TAC maintains first-order statistics on the coverage of each event by
+// each test-template — "the probability of hitting the event with a
+// test instance generated from the test-template" — and answers the
+// queries the coarse-grained search needs: "given a list of the neighbor
+// events of the target, find the best n test-templates that hit these
+// events".
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "coverage/repository.hpp"
+
+namespace ascdg::tac {
+
+/// An event with the weight it contributes to a ranking query.
+struct WeightedEvent {
+  coverage::EventId event;
+  double weight = 1.0;
+};
+
+/// A template and its score for a query.
+struct TemplateScore {
+  std::string name;
+  double score = 0.0;
+  std::size_t sims = 0;
+};
+
+class Tac {
+ public:
+  /// Non-owning view over a coverage repository; the repository must
+  /// outlive the Tac.
+  explicit Tac(const coverage::CoverageRepository& repo) noexcept
+      : repo_(&repo) {}
+
+  /// P(event | template): the per-template empirical hit rate.
+  /// Throws util::NotFoundError on unknown template names.
+  [[nodiscard]] double hit_probability(std::string_view template_name,
+                                       coverage::EventId event) const;
+
+  /// Best n templates ranked by the (weighted) sum of hit probabilities
+  /// over `events` — the approximated-target score. Templates with zero
+  /// score are omitted, so the result may be shorter than n.
+  [[nodiscard]] std::vector<TemplateScore> best_templates(
+      std::span<const WeightedEvent> events, std::size_t n) const;
+
+  /// Convenience overload with unit weights.
+  [[nodiscard]] std::vector<TemplateScore> best_templates(
+      std::span<const coverage::EventId> events, std::size_t n) const;
+
+  /// Events never hit by any template (the CDG targets).
+  [[nodiscard]] std::vector<coverage::EventId> uncovered_events() const;
+
+  /// Templates that hit `event` at least once, ranked by hit rate.
+  [[nodiscard]] std::vector<TemplateScore> templates_hitting(
+      coverage::EventId event) const;
+
+  /// Suggests a regression policy (after the TAC paper's usage): a
+  /// small set of templates that together hit every event any template
+  /// hits, chosen greedily (largest marginal coverage first; ties by
+  /// higher summed hit rate, then by name). The returned order is the
+  /// selection order, so truncating the list keeps the most valuable
+  /// templates.
+  [[nodiscard]] std::vector<std::string> suggest_regression_policy() const;
+
+  /// Events hit by at least `min_rate` of some single template — the
+  /// "easily hit somewhere" set a regression policy can rely on.
+  [[nodiscard]] std::vector<coverage::EventId> reliably_covered_events(
+      double min_rate) const;
+
+ private:
+  const coverage::CoverageRepository* repo_;
+};
+
+}  // namespace ascdg::tac

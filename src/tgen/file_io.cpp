@@ -1,0 +1,80 @@
+#include "tgen/file_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "tgen/parser.hpp"
+#include "util/error.hpp"
+
+namespace ascdg::tgen {
+
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::Error("cannot open '" + path.string() + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw util::Error("failed reading '" + path.string() + "'");
+  }
+  return std::move(buffer).str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw util::Error("cannot create directory '" +
+                        path.parent_path().string() + "': " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw util::Error("cannot open '" + path.string() + "' for writing");
+  }
+  out << text;
+  out.flush();
+  if (!out) {
+    throw util::Error("failed writing '" + path.string() + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<TestTemplate> load_templates(const std::filesystem::path& path) {
+  return parse_templates(read_file(path));
+}
+
+TestTemplate load_template(const std::filesystem::path& path) {
+  return parse_template(read_file(path));
+}
+
+Skeleton load_skeleton(const std::filesystem::path& path) {
+  return parse_skeleton(read_file(path));
+}
+
+void save_templates(const std::filesystem::path& path,
+                    std::span<const TestTemplate> templates) {
+  std::string text;
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    if (i > 0) text += '\n';
+    text += to_text(templates[i]);
+  }
+  write_file(path, text);
+}
+
+void save_template(const std::filesystem::path& path,
+                   const TestTemplate& tmpl) {
+  write_file(path, to_text(tmpl));
+}
+
+void save_skeleton(const std::filesystem::path& path,
+                   const Skeleton& skeleton) {
+  write_file(path, to_text(skeleton));
+}
+
+}  // namespace ascdg::tgen

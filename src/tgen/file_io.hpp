@@ -1,0 +1,37 @@
+// File I/O for templates and skeletons: the on-disk form is exactly the
+// DSL text, so files written by save() parse back identically and can
+// be edited by hand (test-templates are working artifacts of a
+// verification team, not opaque state).
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "tgen/skeleton.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::tgen {
+
+/// Loads every template in a DSL file.
+/// Throws util::Error on IO failure, util::ParseError on bad syntax.
+[[nodiscard]] std::vector<TestTemplate> load_templates(
+    const std::filesystem::path& path);
+
+/// Loads exactly one template from a DSL file.
+[[nodiscard]] TestTemplate load_template(const std::filesystem::path& path);
+
+/// Loads exactly one skeleton from a DSL file.
+[[nodiscard]] Skeleton load_skeleton(const std::filesystem::path& path);
+
+/// Writes templates (DSL text) to a file, creating parent directories.
+/// Throws util::Error on IO failure.
+void save_templates(const std::filesystem::path& path,
+                    std::span<const TestTemplate> templates);
+
+/// Writes one template.
+void save_template(const std::filesystem::path& path, const TestTemplate& tmpl);
+
+/// Writes one skeleton.
+void save_skeleton(const std::filesystem::path& path, const Skeleton& skeleton);
+
+}  // namespace ascdg::tgen

@@ -1,0 +1,84 @@
+#include "tgen/parameter.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ascdg::tgen {
+
+namespace {
+
+using util::ValidationError;
+
+void validate_name(const std::string& name) {
+  if (!util::is_identifier(name)) {
+    throw ValidationError("invalid parameter name: '" + name + "'");
+  }
+}
+
+void validate_weight(const std::string& name, double weight) {
+  if (!std::isfinite(weight) || weight < 0.0) {
+    throw ValidationError("parameter '" + name +
+                          "' has a negative or non-finite weight");
+  }
+}
+
+void validate_impl(const WeightParameter& p) {
+  validate_name(p.name);
+  if (p.entries.empty()) {
+    throw ValidationError("weight parameter '" + p.name + "' has no entries");
+  }
+  std::set<Value> seen;
+  for (const auto& entry : p.entries) {
+    validate_weight(p.name, entry.weight);
+    if (!seen.insert(entry.value).second) {
+      throw ValidationError("weight parameter '" + p.name +
+                            "' has duplicate value '" +
+                            entry.value.to_string() + "'");
+    }
+  }
+  if (p.total_weight() <= 0.0) {
+    throw ValidationError("weight parameter '" + p.name +
+                          "' has zero total weight");
+  }
+}
+
+void validate_impl(const RangeParameter& p) {
+  validate_name(p.name);
+  if (p.lo > p.hi) {
+    throw ValidationError("range parameter '" + p.name + "' has lo > hi");
+  }
+}
+
+void validate_impl(const SubrangeParameter& p) {
+  validate_name(p.name);
+  if (p.entries.empty()) {
+    throw ValidationError("subrange parameter '" + p.name + "' has no entries");
+  }
+  for (std::size_t i = 0; i < p.entries.size(); ++i) {
+    const auto& entry = p.entries[i];
+    validate_weight(p.name, entry.weight);
+    if (entry.lo > entry.hi) {
+      throw ValidationError("subrange parameter '" + p.name +
+                            "' has an entry with lo > hi");
+    }
+    if (i > 0 && entry.lo <= p.entries[i - 1].hi) {
+      throw ValidationError("subrange parameter '" + p.name +
+                            "' has unordered or overlapping subranges");
+    }
+  }
+  if (p.total_weight() <= 0.0) {
+    throw ValidationError("subrange parameter '" + p.name +
+                          "' has zero total weight");
+  }
+}
+
+}  // namespace
+
+void validate(const Parameter& p) {
+  std::visit([](const auto& alt) { validate_impl(alt); }, p);
+}
+
+}  // namespace ascdg::tgen

@@ -1,0 +1,421 @@
+#include "tgen/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace ascdg::tgen {
+
+namespace {
+
+using util::ParseError;
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kMark,  // <W>
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kColon,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string_view text;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    if (pos_ >= text_.size()) return {TokenKind::kEnd, {}, line_};
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return punct(TokenKind::kLBrace);
+      case '}':
+        return punct(TokenKind::kRBrace);
+      case '[':
+        return punct(TokenKind::kLBracket);
+      case ']':
+        return punct(TokenKind::kRBracket);
+      case ':':
+        return punct(TokenKind::kColon);
+      case ',':
+        return punct(TokenKind::kComma);
+      default:
+        break;
+    }
+    if (c == '<') return lex_mark();
+    if (is_number_start(c)) return lex_number();
+    if (is_ident_start(c)) return lex_ident();
+    throw ParseError(std::string("unexpected character '") + c + "'", line_);
+  }
+
+ private:
+  static bool is_ident_start(char c) noexcept {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+  static bool is_ident_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '.';
+  }
+  static bool is_number_start(char c) noexcept {
+    return std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+           c == '+';
+  }
+
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token punct(TokenKind kind) {
+    const Token token{kind, text_.substr(pos_, 1), line_};
+    ++pos_;
+    return token;
+  }
+
+  Token lex_mark() {
+    if (text_.substr(pos_, 3) == "<W>") {
+      const Token token{TokenKind::kMark, text_.substr(pos_, 3), line_};
+      pos_ += 3;
+      return token;
+    }
+    throw ParseError("expected mark '<W>'", line_);
+  }
+
+  Token lex_number() {
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-' || text_[pos_] == '+') ++pos_;
+    bool has_digits = false;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        has_digits = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++pos_;
+        if ((c == 'e' || c == 'E') && pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    if (!has_digits) throw ParseError("malformed number", line_);
+    return {is_float ? TokenKind::kFloat : TokenKind::kInt,
+            text_.substr(start, pos_ - start), line_};
+  }
+
+  Token lex_ident() {
+    const std::size_t start = pos_;
+    ++pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    return {TokenKind::kIdent, text_.substr(start, pos_ - start), line_};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Recursive-descent parser over the token stream. Parses both concrete
+/// templates and skeletons; `allow_marks` distinguishes the two.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  [[nodiscard]] bool at_end() const noexcept {
+    return current_.kind == TokenKind::kEnd;
+  }
+
+  /// Returns the keyword of the next block ("template" or "skeleton").
+  std::string_view peek_block_keyword() {
+    if (current_.kind != TokenKind::kIdent ||
+        (current_.text != "template" && current_.text != "skeleton")) {
+      throw ParseError("expected 'template' or 'skeleton'", current_.line);
+    }
+    return current_.text;
+  }
+
+  TestTemplate parse_template_block() {
+    expect_keyword("template");
+    TestTemplate tmpl{std::string(expect(TokenKind::kIdent).text)};
+    expect(TokenKind::kLBrace);
+    while (current_.kind != TokenKind::kRBrace) {
+      tmpl.add(parse_concrete_parameter());
+    }
+    expect(TokenKind::kRBrace);
+    return tmpl;
+  }
+
+  Skeleton parse_skeleton_block() {
+    expect_keyword("skeleton");
+    Skeleton skeleton{std::string(expect(TokenKind::kIdent).text)};
+    expect(TokenKind::kLBrace);
+    while (current_.kind != TokenKind::kRBrace) {
+      skeleton.add(parse_skeleton_parameter());
+    }
+    expect(TokenKind::kRBrace);
+    return skeleton;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  Token expect(TokenKind kind) {
+    if (current_.kind != kind) {
+      throw ParseError("unexpected token '" + std::string(current_.text) + "'",
+                       current_.line);
+    }
+    const Token token = current_;
+    advance();
+    return token;
+  }
+
+  void expect_keyword(std::string_view keyword) {
+    if (current_.kind != TokenKind::kIdent || current_.text != keyword) {
+      throw ParseError("expected '" + std::string(keyword) + "'",
+                       current_.line);
+    }
+    advance();
+  }
+
+  std::string_view parameter_keyword() {
+    if (current_.kind != TokenKind::kIdent ||
+        (current_.text != "weight" && current_.text != "range" &&
+         current_.text != "subrange")) {
+      throw ParseError(
+          "expected 'weight', 'range' or 'subrange', got '" +
+              std::string(current_.text) + "'",
+          current_.line);
+    }
+    const std::string_view keyword = current_.text;
+    advance();
+    return keyword;
+  }
+
+  double parse_number() {
+    if (current_.kind != TokenKind::kInt && current_.kind != TokenKind::kFloat) {
+      throw ParseError("expected a number, got '" + std::string(current_.text) +
+                           "'",
+                       current_.line);
+    }
+    const auto value = util::parse_double(current_.text);
+    if (!value.has_value()) {
+      throw ParseError("malformed number '" + std::string(current_.text) + "'",
+                       current_.line);
+    }
+    advance();
+    return *value;
+  }
+
+  std::int64_t parse_integer() {
+    if (current_.kind != TokenKind::kInt) {
+      throw ParseError("expected an integer, got '" +
+                           std::string(current_.text) + "'",
+                       current_.line);
+    }
+    const auto value = util::parse_int(current_.text);
+    if (!value.has_value()) {
+      throw ParseError("integer out of range '" + std::string(current_.text) +
+                           "'",
+                       current_.line);
+    }
+    advance();
+    return *value;
+  }
+
+  /// Weight that may be a <W> mark (skeletons only).
+  std::optional<double> parse_maybe_marked_weight(bool allow_marks) {
+    if (current_.kind == TokenKind::kMark) {
+      if (!allow_marks) {
+        throw ParseError("mark '<W>' is only allowed inside a skeleton",
+                         current_.line);
+      }
+      advance();
+      return std::nullopt;
+    }
+    return parse_number();
+  }
+
+  Value parse_value() {
+    if (current_.kind == TokenKind::kIdent) {
+      Value v{std::string(current_.text)};
+      advance();
+      return v;
+    }
+    if (current_.kind == TokenKind::kInt) {
+      return Value{parse_integer()};
+    }
+    throw ParseError("expected a value (identifier or integer), got '" +
+                         std::string(current_.text) + "'",
+                     current_.line);
+  }
+
+  std::pair<std::int64_t, std::int64_t> parse_bracket_range() {
+    expect(TokenKind::kLBracket);
+    const std::int64_t lo = parse_integer();
+    expect(TokenKind::kComma);
+    const std::int64_t hi = parse_integer();
+    expect(TokenKind::kRBracket);
+    return {lo, hi};
+  }
+
+  Parameter parse_concrete_parameter() {
+    const std::string_view keyword = parameter_keyword();
+    const std::string name{expect(TokenKind::kIdent).text};
+    if (keyword == "range") {
+      const auto [lo, hi] = parse_bracket_range();
+      return RangeParameter{name, lo, hi};
+    }
+    if (keyword == "weight") {
+      WeightParameter param{name, {}};
+      expect(TokenKind::kLBrace);
+      for (;;) {
+        Value value = parse_value();
+        expect(TokenKind::kColon);
+        const double weight = parse_number();
+        param.entries.push_back({std::move(value), weight});
+        if (current_.kind == TokenKind::kComma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::kRBrace);
+      return param;
+    }
+    SubrangeParameter param{name, {}};
+    expect(TokenKind::kLBrace);
+    for (;;) {
+      const auto [lo, hi] = parse_bracket_range();
+      expect(TokenKind::kColon);
+      const double weight = parse_number();
+      param.entries.push_back({lo, hi, weight});
+      if (current_.kind == TokenKind::kComma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRBrace);
+    return param;
+  }
+
+  SkeletonParameter parse_skeleton_parameter() {
+    const std::string_view keyword = parameter_keyword();
+    const std::string name{expect(TokenKind::kIdent).text};
+    if (keyword == "range") {
+      const auto [lo, hi] = parse_bracket_range();
+      return RangeParameter{name, lo, hi};
+    }
+    if (keyword == "weight") {
+      SkeletonWeightParameter param{name, {}};
+      expect(TokenKind::kLBrace);
+      for (;;) {
+        Value value = parse_value();
+        expect(TokenKind::kColon);
+        param.entries.push_back(
+            {std::move(value), parse_maybe_marked_weight(true)});
+        if (current_.kind == TokenKind::kComma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      expect(TokenKind::kRBrace);
+      return param;
+    }
+    SkeletonSubrangeParameter param{name, {}};
+    expect(TokenKind::kLBrace);
+    for (;;) {
+      const auto [lo, hi] = parse_bracket_range();
+      expect(TokenKind::kColon);
+      param.entries.push_back({lo, hi, parse_maybe_marked_weight(true)});
+      if (current_.kind == TokenKind::kComma) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::kRBrace);
+    return param;
+  }
+
+  Lexer lexer_;
+  Token current_;
+};
+
+}  // namespace
+
+std::vector<TestTemplate> parse_templates(std::string_view text) {
+  Parser parser(text);
+  std::vector<TestTemplate> out;
+  while (!parser.at_end()) {
+    if (parser.peek_block_keyword() != "template") {
+      throw ParseError("expected a 'template' block (found a skeleton)", 1);
+    }
+    out.push_back(parser.parse_template_block());
+  }
+  return out;
+}
+
+TestTemplate parse_template(std::string_view text) {
+  auto all = parse_templates(text);
+  if (all.size() != 1) {
+    throw ParseError("expected exactly one template, found " +
+                         std::to_string(all.size()),
+                     1);
+  }
+  return std::move(all.front());
+}
+
+std::vector<Skeleton> parse_skeletons(std::string_view text) {
+  Parser parser(text);
+  std::vector<Skeleton> out;
+  while (!parser.at_end()) {
+    if (parser.peek_block_keyword() != "skeleton") {
+      throw ParseError("expected a 'skeleton' block (found a template)", 1);
+    }
+    out.push_back(parser.parse_skeleton_block());
+  }
+  return out;
+}
+
+Skeleton parse_skeleton(std::string_view text) {
+  auto all = parse_skeletons(text);
+  if (all.size() != 1) {
+    throw ParseError("expected exactly one skeleton, found " +
+                         std::to_string(all.size()),
+                     1);
+  }
+  return std::move(all.front());
+}
+
+}  // namespace ascdg::tgen

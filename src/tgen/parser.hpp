@@ -1,0 +1,42 @@
+// Parser for the test-template DSL (Fig. 1 of the paper).
+//
+// Grammar (comments start with '#'; whitespace is free-form):
+//
+//   file      := { template | skeleton }
+//   template  := "template" IDENT "{" { param } "}"
+//   skeleton  := "skeleton" IDENT "{" { sparam } "}"
+//   param     := weight | range | subrange
+//   weight    := "weight" IDENT "{" wentry { "," wentry } "}"
+//   wentry    := (IDENT | INT) ":" NUMBER
+//   range     := "range" IDENT "[" INT "," INT "]"
+//   subrange  := "subrange" IDENT "{" sentry { "," sentry } "}"
+//   sentry    := "[" INT "," INT "]" ":" NUMBER
+//
+// In skeletons, NUMBER in a weight position may also be the mark "<W>".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tgen/skeleton.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::tgen {
+
+/// Parses all templates in `text`. Throws util::ParseError (syntax) or
+/// util::ValidationError (semantics, e.g. duplicate parameter).
+/// Skeleton blocks are rejected here; use parse_skeletons for those.
+[[nodiscard]] std::vector<TestTemplate> parse_templates(std::string_view text);
+
+/// Parses exactly one template. Throws util::ParseError when `text`
+/// does not contain exactly one template block.
+[[nodiscard]] TestTemplate parse_template(std::string_view text);
+
+/// Parses all skeletons in `text`.
+[[nodiscard]] std::vector<Skeleton> parse_skeletons(std::string_view text);
+
+/// Parses exactly one skeleton.
+[[nodiscard]] Skeleton parse_skeleton(std::string_view text);
+
+}  // namespace ascdg::tgen

@@ -1,0 +1,48 @@
+// Values that can appear in a weight parameter of a test-template:
+// either symbolic identifiers (instruction mnemonics, request kinds, ...)
+// or integers (thread ids, sizes, ...). See Fig. 1(a) of the paper.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace ascdg::tgen {
+
+/// A weight-parameter value: symbol or integer.
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(std::string symbol) : data_(std::move(symbol)) {}
+  explicit Value(const char* symbol) : data_(std::string(symbol)) {}
+
+  [[nodiscard]] bool is_int() const noexcept {
+    return std::holds_alternative<std::int64_t>(data_);
+  }
+  [[nodiscard]] bool is_symbol() const noexcept { return !is_int(); }
+
+  /// Integer payload; throws std::bad_variant_access on a symbol.
+  [[nodiscard]] std::int64_t as_int() const {
+    return std::get<std::int64_t>(data_);
+  }
+  /// Symbol payload; throws std::bad_variant_access on an integer.
+  [[nodiscard]] const std::string& as_symbol() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Textual form as it appears in the template DSL.
+  [[nodiscard]] std::string to_string() const {
+    return is_int() ? std::to_string(as_int()) : as_symbol();
+  }
+
+  friend bool operator==(const Value&, const Value&) = default;
+  friend auto operator<=>(const Value&, const Value&) = default;
+
+ private:
+  std::variant<std::int64_t, std::string> data_;
+};
+
+}  // namespace ascdg::tgen

@@ -1,0 +1,11 @@
+#include "util/error.hpp"
+
+namespace ascdg::util::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  throw LogicError(std::string("ASCDG_ASSERT(") + expr + ") failed at " + file +
+                   ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace ascdg::util::detail

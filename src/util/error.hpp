@@ -1,0 +1,71 @@
+// Typed error hierarchy for AS-CDG.
+//
+// Errors that a library user can act on (bad template text, invalid
+// configuration, impossible requests) are thrown as subclasses of
+// ascdg::util::Error. Internal invariant violations use ASCDG_ASSERT,
+// which throws LogicError so tests can exercise failure paths without
+// aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ascdg::util {
+
+/// Root of the AS-CDG error hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed template / skeleton text.
+class ParseError : public Error {
+ public:
+  ParseError(std::string message, std::size_t line)
+      : Error("parse error at line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Structurally valid input that violates a semantic rule
+/// (e.g. negative weight, empty range, duplicate parameter name).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid flow / optimizer / farm configuration.
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Lookup of an unknown event, parameter, or template.
+class NotFoundError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant violation (bug in this library, not in user input).
+class LogicError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace ascdg::util
+
+/// Invariant check that throws ascdg::util::LogicError on failure.
+#define ASCDG_ASSERT(expr, message)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::ascdg::util::detail::assert_fail(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ascdg::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ > 1 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+ProportionInterval wilson_interval(std::size_t hits, std::size_t trials,
+                                   double z) noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  const auto n = static_cast<double>(trials);
+  const double p = static_cast<double>(hits) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - margin), std::min(1.0, center + margin)};
+}
+
+double chi_square_statistic(std::span<const std::size_t> observed,
+                            std::span<const double> expected_probs) {
+  ASCDG_ASSERT(observed.size() == expected_probs.size(),
+               "observed/expected size mismatch");
+  double prob_total = 0.0;
+  std::size_t count_total = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ASCDG_ASSERT(expected_probs[i] >= 0.0, "negative expected probability");
+    prob_total += expected_probs[i];
+    count_total += observed[i];
+  }
+  ASCDG_ASSERT(prob_total > 0.0, "expected probabilities sum to zero");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        static_cast<double>(count_total) * expected_probs[i] / prob_total;
+    if (expected == 0.0) {
+      ASCDG_ASSERT(observed[i] == 0,
+                   "observed count in zero-probability bin");
+      continue;
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    stat += diff * diff / expected;
+  }
+  return stat;
+}
+
+namespace {
+
+/// Inverse standard normal CDF via the Beasley-Springer-Moro rational
+/// approximation (|error| < 1.15e-9 over (0,1)).
+double inverse_normal(double p) {
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  double z;
+  if (p < 0.02425) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    z = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 0.97575) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    z = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    z = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return z;
+}
+
+}  // namespace
+
+double chi_square_critical(std::size_t dof, double alpha) {
+  ASCDG_ASSERT(dof >= 1, "chi-square needs dof >= 1");
+  ASCDG_ASSERT(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  if (dof == 1) {
+    // chi2_1 = Z^2, so the critical value is the squared two-sided
+    // normal quantile (exact).
+    const double z = inverse_normal(1.0 - alpha / 2.0);
+    return z * z;
+  }
+  if (dof == 2) {
+    // chi2_2 is Exp(1/2): critical value is -2 ln(alpha) (exact).
+    return -2.0 * std::log(alpha);
+  }
+  // Wilson-Hilferty: chi2_k(p) ~= k * (1 - 2/(9k) + z*sqrt(2/(9k)))^3,
+  // accurate to well under 1% for k >= 3.
+  const double z = inverse_normal(1.0 - alpha);
+  const auto k = static_cast<double>(dof);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (const double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  ASCDG_ASSERT(!xs.empty(), "argmax of empty span");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace ascdg::util

@@ -1,0 +1,66 @@
+// Small statistics toolkit used across AS-CDG: running moments
+// (Welford), binomial proportion confidence intervals, and chi-square
+// goodness-of-fit support for the distribution property tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ascdg::util {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean; 0 for fewer than 2 samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided binomial proportion confidence interval.
+struct ProportionInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Wilson score interval for `hits` successes out of `trials`, at
+/// confidence z (z = 1.96 for ~95%). Well-behaved at p near 0/1, which
+/// matters for the rare events CDG deals with.
+[[nodiscard]] ProportionInterval wilson_interval(std::size_t hits,
+                                                 std::size_t trials,
+                                                 double z = 1.96) noexcept;
+
+/// Pearson chi-square statistic for observed counts vs expected
+/// probabilities (probabilities need not be normalized). Bins with zero
+/// expected probability must have zero observed count (asserted).
+[[nodiscard]] double chi_square_statistic(std::span<const std::size_t> observed,
+                                          std::span<const double> expected_probs);
+
+/// Approximate upper critical value of the chi-square distribution with
+/// `dof` degrees of freedom at significance alpha via the Wilson–Hilferty
+/// transformation. Accurate enough for test thresholds (dof >= 1).
+[[nodiscard]] double chi_square_critical(std::size_t dof, double alpha = 0.001);
+
+/// Sample mean of a span (0 for empty).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Index of the maximum element; xs must be non-empty.
+[[nodiscard]] std::size_t argmax(std::span<const double> xs);
+
+}  // namespace ascdg::util

@@ -1,0 +1,44 @@
+// String helpers shared by the template DSL parser and the reporters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascdg::util {
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a delimiter character; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char delim);
+
+/// Splits into non-empty whitespace-separated tokens.
+[[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Parses a signed integer; nullopt on any malformed input or overflow.
+[[nodiscard]] std::optional<long long> parse_int(std::string_view s) noexcept;
+
+/// Parses a double; nullopt on malformed input.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s) noexcept;
+
+/// True when `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_.]*
+[[nodiscard]] bool is_identifier(std::string_view name) noexcept;
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Formats a double compactly: integers without trailing ".0",
+/// otherwise up to `precision` significant decimals.
+[[nodiscard]] std::string format_number(double value, int precision = 6);
+
+/// Formats a probability as a percentage with 3 decimals ("10.321%").
+[[nodiscard]] std::string format_percent(double fraction);
+
+/// Formats an integer with thousands separators ("1,000,000").
+[[nodiscard]] std::string format_count(std::size_t n);
+
+}  // namespace ascdg::util

@@ -1,0 +1,154 @@
+#include "util/table.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ascdg::util {
+
+namespace {
+
+const char* color_code(CellColor color) noexcept {
+  switch (color) {
+    case CellColor::kGreen:
+      return "\x1b[32m";
+    case CellColor::kOrange:
+      return "\x1b[33m";
+    case CellColor::kRed:
+      return "\x1b[31m";
+    case CellColor::kBold:
+      return "\x1b[1m";
+    case CellColor::kDefault:
+      return "";
+  }
+  return "";
+}
+
+std::string pad(const std::string& text, std::size_t width, Align align) {
+  if (text.size() >= width) return text;
+  const std::string padding(width - text.size(), ' ');
+  return align == Align::kLeft ? text + padding : padding + text;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ASCDG_ASSERT(!headers_.empty(), "table needs at least one column");
+  aligns_.assign(headers_.size(), Align::kRight);
+  aligns_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  ASCDG_ASSERT(column < aligns_.size(), "column out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw ValidationError("table row has " + std::to_string(cells.size()) +
+                          " cells; expected " +
+                          std::to_string(headers_.size()));
+  }
+  rows_.push_back({std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+void Table::render(std::ostream& os, bool use_color) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].text.size());
+    }
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << ' ' << pad(headers_[c], widths[c], aligns_[c]) << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    if (row.separator_before) rule();
+    os << '|';
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      const auto& cell = row.cells[c];
+      os << ' ';
+      if (use_color && cell.color != CellColor::kDefault) {
+        os << color_code(cell.color) << pad(cell.text, widths[c], aligns_[c])
+           << "\x1b[0m";
+      } else {
+        os << pad(cell.text, widths[c], aligns_[c]);
+      }
+      os << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void Table::render_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& header : headers_) os << ' ' << header << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (aligns_[c] == Align::kRight ? " ---: |" : " --- |");
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& cell : row.cells) os << ' ' << cell.text << " |";
+    os << '\n';
+  }
+}
+
+void Table::render_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::string& field, bool last) {
+    const bool quote = field.find_first_of(",\"\n") != std::string::npos;
+    if (quote) {
+      os << '"';
+      for (const char ch : field) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << field;
+    }
+    if (!last) os << ',';
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    emit(headers_[c], c + 1 == headers_.size());
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      emit(row.cells[c].text, c + 1 == row.cells.size());
+    }
+    os << '\n';
+  }
+}
+
+bool stdout_supports_color() noexcept {
+  if (::isatty(STDOUT_FILENO) == 0) return false;
+  const char* term = std::getenv("TERM");
+  return term != nullptr && std::string_view(term) != "dumb";
+}
+
+}  // namespace ascdg::util

@@ -1,0 +1,75 @@
+// ANSI-colored text tables for the deployment-result reports.
+//
+// The color semantics follow the IBM convention described in the paper:
+// never-hit events are red, lightly-hit events (count < 100 or rate < 1%)
+// are orange/yellow, well-hit events are green.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ascdg::util {
+
+enum class CellColor { kDefault, kGreen, kOrange, kRed, kBold };
+
+enum class Align { kLeft, kRight };
+
+struct Cell {
+  std::string text;
+  CellColor color = CellColor::kDefault;
+
+  Cell() = default;
+  // Implicit conversions keep row literals terse:
+  //   table.add_row({"a", "b"}) and add_row({{"x", CellColor::kRed}, ...}).
+  Cell(std::string t) : text(std::move(t)) {}                // NOLINT
+  Cell(const char* t) : text(t) {}                           // NOLINT
+  Cell(std::string t, CellColor c) : text(std::move(t)), color(c) {}
+};
+
+/// A simple column-aligned table with optional ANSI colors.
+class Table {
+ public:
+  /// Declares the header row; the column count is fixed from here on.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Sets the alignment of one column (default: left for column 0,
+  /// right otherwise).
+  void set_align(std::size_t column, Align align);
+
+  /// Appends a row. Throws ValidationError on arity mismatch.
+  void add_row(std::vector<Cell> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders with box-drawing separators; `use_color` controls ANSI codes.
+  void render(std::ostream& os, bool use_color = true) const;
+
+  /// Renders as GitHub-flavored markdown (no color).
+  void render_markdown(std::ostream& os) const;
+
+  /// Renders as CSV (no color).
+  void render_csv(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<Cell> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// True when stdout is attached to a terminal that supports color.
+[[nodiscard]] bool stdout_supports_color() noexcept;
+
+}  // namespace ascdg::util

@@ -1,0 +1,165 @@
+// Tests for the batch simulation farm: determinism across worker
+// counts, job batching, accounting, and edge cases (zero counts).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "duv/io_unit.hpp"
+#include "duv/l3_cache.hpp"
+#include "util/rng.hpp"
+
+namespace ascdg::batch {
+namespace {
+
+TEST(SimFarm, ResultIndependentOfWorkerCount) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  coverage::SimStats reference;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    SimFarm farm(workers);
+    const auto stats = farm.run(io, tmpl, 500, 42);
+    if (workers == 1) {
+      reference = stats;
+    } else {
+      EXPECT_EQ(stats, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(SimFarm, MatchesDirectSerialSimulation) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  SimFarm farm(3);
+  const auto farm_stats = farm.run(io, tmpl, 200, 7);
+
+  coverage::SimStats direct(io.space().size());
+  const util::SeedStream seeds(7);
+  for (std::size_t i = 0; i < 200; ++i) {
+    direct.record(io.simulate(tmpl, seeds.at(i)));
+  }
+  EXPECT_EQ(farm_stats, direct);
+}
+
+TEST(SimFarm, RunAllPreservesJobOrderAndSeeds) {
+  const duv::L3Cache l3;
+  const auto suite = l3.suite();
+  ASSERT_GE(suite.size(), 3u);
+  SimFarm farm(2);
+  std::vector<SimFarm::Job> jobs;
+  for (std::size_t j = 0; j < 3; ++j) {
+    jobs.push_back({&suite[j], 100, 1000 + j});
+  }
+  const auto batch = farm.run_all(l3, jobs);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const auto solo = farm.run(l3, suite[j], 100, 1000 + j);
+    EXPECT_EQ(batch[j], solo) << "job " << j;
+  }
+}
+
+TEST(SimFarm, DifferentSeedsGiveDifferentStats) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  const auto a = farm.run(io, io.defaults(), 300, 1);
+  const auto b = farm.run(io, io.defaults(), 300, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SimFarm, CountsSimulations) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  EXPECT_EQ(farm.total_simulations(), 0u);
+  (void)farm.run(io, io.defaults(), 130, 5);
+  EXPECT_EQ(farm.total_simulations(), 130u);
+  (void)farm.run(io, io.defaults(), 70, 5);
+  EXPECT_EQ(farm.total_simulations(), 200u);
+}
+
+TEST(SimFarm, ZeroCountJobReturnsEmptyStats) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  const auto stats = farm.run(io, io.defaults(), 0, 5);
+  EXPECT_EQ(stats.sims(), 0u);
+}
+
+TEST(SimFarm, RunAllWithEmptyJobList) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  const auto results = farm.run_all(io, {});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(SimFarm, StatsSimsMatchRequestedCount) {
+  const duv::IoUnit io;
+  SimFarm farm(4);
+  // Non-multiple of the internal chunk size.
+  const auto stats = farm.run(io, io.defaults(), 257, 3);
+  EXPECT_EQ(stats.sims(), 257u);
+}
+
+TEST(SimFarm, DefaultWorkerCountIsPositive) {
+  SimFarm farm;
+  EXPECT_GE(farm.worker_count(), 1u);
+}
+
+TEST(SimFarm, ManySmallJobsComplete) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  SimFarm farm(2);
+  std::vector<SimFarm::Job> jobs(40, SimFarm::Job{&tmpl, 5, 0});
+  for (std::size_t j = 0; j < jobs.size(); ++j) jobs[j].seed_root = j;
+  const auto results = farm.run_all(io, jobs);
+  ASSERT_EQ(results.size(), 40u);
+  for (const auto& stats : results) EXPECT_EQ(stats.sims(), 5u);
+}
+
+// Chunk-boundary property: the farm's result must be independent of how
+// the internal chunking slices the work.
+class ChunkBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkBoundary, CountsAroundChunkSizeAreExact) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  const std::size_t count = GetParam();
+  const auto stats = farm.run(io, io.defaults(), count, 11);
+  EXPECT_EQ(stats.sims(), count);
+
+  // And identical to a serial reference.
+  coverage::SimStats direct(io.space().size());
+  const util::SeedStream seeds(11);
+  for (std::size_t i = 0; i < count; ++i) {
+    direct.record(io.simulate(io.defaults(), seeds.at(i)));
+  }
+  EXPECT_EQ(stats, direct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batch, ChunkBoundary,
+                         ::testing::Values(1u, 63u, 64u, 65u, 127u, 128u, 200u));
+
+TEST(SimFarm, ConcurrentCallersShareThePool) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  coverage::SimStats a, b;
+  std::thread caller([&] { a = farm.run(io, io.defaults(), 100, 21); });
+  b = farm.run(io, io.defaults(), 100, 22);
+  caller.join();
+  EXPECT_EQ(a.sims(), 100u);
+  EXPECT_EQ(b.sims(), 100u);
+  EXPECT_FALSE(a == b);  // different seeds
+  // Each equals its serial reference.
+  const auto check = [&](const coverage::SimStats& got, std::uint64_t seed) {
+    coverage::SimStats direct(io.space().size());
+    const util::SeedStream seeds(seed);
+    for (std::size_t i = 0; i < 100; ++i) {
+      direct.record(io.simulate(io.defaults(), seeds.at(i)));
+    }
+    EXPECT_EQ(got, direct);
+  };
+  check(a, 21);
+  check(b, 22);
+}
+
+}  // namespace
+}  // namespace ascdg::batch

@@ -1,0 +1,465 @@
+// Unit and property tests for the util module: RNG determinism and
+// statistical sanity, running statistics, intervals, string helpers,
+// and table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ascdg::util {
+namespace {
+
+// ---------------------------------------------------------------- RNG --
+
+TEST(Xoshiro, SameSeedSameSequence) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  Xoshiro256 rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Xoshiro, UniformI64CoversInclusiveRange) {
+  Xoshiro256 rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_i64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values appear
+}
+
+TEST(Xoshiro, UniformI64SingletonRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_i64(17, 17), 17);
+}
+
+TEST(Xoshiro, UniformU64FullRangeDoesNotHang) {
+  Xoshiro256 rng(9);
+  const auto v = rng.uniform_u64(0, std::numeric_limits<std::uint64_t>::max());
+  (void)v;  // any value is fine; just must terminate
+}
+
+TEST(Xoshiro, UniformU64IsUnbiasedAcrossBuckets) {
+  Xoshiro256 rng(13);
+  std::vector<std::size_t> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_u64(0, 9)];
+  }
+  const std::vector<double> expected(10, 0.1);
+  const double stat = chi_square_statistic(counts, expected);
+  EXPECT_LT(stat, chi_square_critical(9, 0.001));
+}
+
+TEST(Xoshiro, BernoulliMatchesProbability) {
+  Xoshiro256 rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Xoshiro, NormalMomentsMatch) {
+  Xoshiro256 rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(Xoshiro, WeightedIndexRespectsWeights) {
+  Xoshiro256 rng(29);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<std::size_t> counts(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[2], 0u);  // zero weight never drawn
+  const double stat = chi_square_statistic(counts, weights);
+  EXPECT_LT(stat, chi_square_critical(2, 0.001));
+}
+
+TEST(Xoshiro, WeightedIndexAllZeroReturnsSize) {
+  Xoshiro256 rng(31);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.weighted_index(weights), weights.size());
+}
+
+TEST(Xoshiro, WeightedIndexNegativeTreatedAsZero) {
+  Xoshiro256 rng(37);
+  const std::vector<double> weights{-5.0, 2.0};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.weighted_index(weights), 1u);
+}
+
+TEST(SeedStream, AtIsPureFunction) {
+  const SeedStream s(99);
+  EXPECT_EQ(s.at(0), s.at(0));
+  EXPECT_EQ(s.at(7), s.at(7));
+  EXPECT_NE(s.at(0), s.at(1));
+}
+
+TEST(SeedStream, NextMatchesAt) {
+  SeedStream s(123);
+  const SeedStream pure(123);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(s.next(), pure.at(i));
+}
+
+TEST(SeedStream, ChildrenAreDistinct) {
+  const SeedStream s(5);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.insert(s.at(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SeedStream, DifferentRootsDifferentChildren) {
+  const SeedStream a(1), b(2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    if (a.at(i) == b.at(i)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Shuffle, PreservesElements) {
+  Xoshiro256 rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(std::span<int>(v), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+// -------------------------------------------------------------- stats --
+
+TEST(RunningStats, EmptyIsZero) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal();
+    (i % 3 == 0 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(3.0);
+  a.add(5.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+}
+
+TEST(Wilson, ZeroTrialsIsVacuous) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.lo, 0.0);
+  EXPECT_EQ(ci.hi, 1.0);
+}
+
+TEST(Wilson, ContainsTrueProportion) {
+  // Property: across many repetitions, the 95% interval covers p at
+  // least ~90% of the time (slack for the approximation).
+  Xoshiro256 rng(47);
+  const double p = 0.07;
+  int covered = 0;
+  constexpr int kReps = 400;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::size_t hits = 0;
+    constexpr std::size_t kTrials = 500;
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      if (rng.bernoulli(p)) ++hits;
+    }
+    const auto ci = wilson_interval(hits, kTrials);
+    if (p >= ci.lo && p <= ci.hi) ++covered;
+  }
+  EXPECT_GT(covered, kReps * 9 / 10);
+}
+
+TEST(Wilson, DegenerateCountsStayInUnitInterval) {
+  const auto all = wilson_interval(100, 100);
+  EXPECT_GT(all.lo, 0.9);
+  EXPECT_NEAR(all.hi, 1.0, 1e-9);
+  const auto none = wilson_interval(0, 100);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.1);
+}
+
+TEST(ChiSquare, CriticalValuesMatchTables) {
+  // Reference values from standard chi-square tables (alpha = 0.05).
+  EXPECT_NEAR(chi_square_critical(1, 0.05), 3.841, 0.01);
+  EXPECT_NEAR(chi_square_critical(2, 0.05), 5.991, 0.01);
+  EXPECT_NEAR(chi_square_critical(5, 0.05), 11.070, 0.1);
+  EXPECT_NEAR(chi_square_critical(10, 0.05), 18.307, 0.1);
+  EXPECT_NEAR(chi_square_critical(30, 0.05), 43.773, 0.2);
+  EXPECT_NEAR(chi_square_critical(1, 0.001), 10.828, 0.01);
+  EXPECT_NEAR(chi_square_critical(2, 0.001), 13.816, 0.01);
+}
+
+TEST(ChiSquare, StatisticZeroForPerfectFit) {
+  const std::vector<std::size_t> observed{25, 25, 25, 25};
+  const std::vector<double> expected{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(chi_square_statistic(observed, expected), 0.0);
+}
+
+TEST(ChiSquare, ZeroProbBinWithObservationsThrows) {
+  const std::vector<std::size_t> observed{5, 1};
+  const std::vector<double> expected{1.0, 0.0};
+  EXPECT_THROW((void)chi_square_statistic(observed, expected), LogicError);
+}
+
+TEST(Argmax, FindsMaximum) {
+  const std::vector<double> xs{1.0, 5.0, 3.0, 5.0};
+  EXPECT_EQ(argmax(xs), 1u);  // first max wins
+}
+
+TEST(Argmax, EmptyThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)argmax(xs), LogicError);
+}
+
+// ------------------------------------------------------------- strings --
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWs) {
+  const auto parts = split_ws("  foo  bar\tbaz\n");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_EQ(parse_int(" 5 "), 5);
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("99999999999999999999999").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("inf").has_value());
+  EXPECT_FALSE(parse_double("nan").has_value());
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc"));
+  EXPECT_TRUE(is_identifier("_x9"));
+  EXPECT_TRUE(is_identifier("crc_004"));
+  EXPECT_TRUE(is_identifier("a.b"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("9abc"));
+  EXPECT_FALSE(is_identifier("a b"));
+  EXPECT_FALSE(is_identifier(".a"));
+}
+
+TEST(Strings, FormatNumber) {
+  EXPECT_EQ(format_number(5.0), "5");
+  EXPECT_EQ(format_number(-3.0), "-3");
+  EXPECT_EQ(format_number(2.5), "2.5");
+  EXPECT_EQ(format_number(0.0), "0");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.10321), "10.321%");
+  EXPECT_EQ(format_percent(0.0), "0.000%");
+  EXPECT_EQ(format_percent(1.0), "100.000%");
+}
+
+TEST(Strings, FormatCount) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(1000000), "1,000,000");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+// --------------------------------------------------------------- table --
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"Name", "Value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.render(os, /*use_color=*/false);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("| alpha |"), std::string::npos);
+  EXPECT_NE(text.find("Value"), std::string::npos);
+  // All lines between rules have equal width.
+  std::size_t width = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table table({"A", "B"});
+  EXPECT_THROW(table.add_row({"only-one"}), ValidationError);
+}
+
+TEST(Table, ColorCodesOnlyWhenEnabled) {
+  Table table({"X"});
+  table.add_row(std::vector<Cell>{{"hot", CellColor::kRed}});
+  std::ostringstream plain, colored;
+  table.render(plain, false);
+  table.render(colored, true);
+  EXPECT_EQ(plain.str().find('\x1b'), std::string::npos);
+  EXPECT_NE(colored.str().find("\x1b[31m"), std::string::npos);
+}
+
+TEST(Table, MarkdownOutput) {
+  Table table({"H1", "H2"});
+  table.add_row({"a", "b"});
+  std::ostringstream os;
+  table.render_markdown(os);
+  EXPECT_NE(os.str().find("| H1 | H2 |"), std::string::npos);
+  EXPECT_NE(os.str().find("| a | b |"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"A", "B"});
+  table.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  table.render_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, SeparatorsAndAlignment) {
+  Table table({"L", "R"});
+  table.set_align(1, Align::kLeft);
+  table.add_row({"a", "1"});
+  table.add_separator();
+  table.add_row({"b", "2"});
+  std::ostringstream os;
+  table.render(os, false);
+  const std::string text = os.str();
+  // Header rule + separator + top/bottom: 4 rule lines.
+  std::size_t rules = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line[0] == '+') ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, SetAlignOutOfRangeThrows) {
+  Table table({"A"});
+  EXPECT_THROW(table.set_align(5, Align::kLeft), LogicError);
+}
+
+TEST(Log, LevelFilterWorks) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check
+  // needed beyond not throwing).
+  EXPECT_NO_THROW(log_info("suppressed"));
+  EXPECT_NO_THROW(log_error("emitted"));
+  set_log_level(old_level);
+}
+
+// --------------------------------------------------------------- error --
+
+TEST(Error, AssertThrowsLogicError) {
+  EXPECT_THROW(ASCDG_ASSERT(false, "boom"), LogicError);
+  EXPECT_NO_THROW(ASCDG_ASSERT(true, "fine"));
+}
+
+TEST(Error, ParseErrorCarriesLine) {
+  const ParseError err("bad token", 17);
+  EXPECT_EQ(err.line(), 17u);
+  EXPECT_NE(std::string(err.what()).find("line 17"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ascdg::util

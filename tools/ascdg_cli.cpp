@@ -1,0 +1,479 @@
+// ascdg — command-line front end for the AS-CDG flow on the bundled
+// simulated units.
+//
+//   ascdg units
+//   ascdg events <unit> [prefix]
+//   ascdg suite <unit> [--out FILE]
+//   ascdg skeletonize <template-file> [--subranges N] [--geometric]
+//                     [--mark-zeros] [--out FILE]
+//   ascdg before <unit> [--sims N] [--csv FILE]
+//   ascdg policy <unit> [--sims N]
+//   ascdg holes <unit> --family F [--sims N] [--max-order K]
+//   ascdg run <unit> --family F [--before-sims N] [--samples N]
+//             [--sample-sims N] [--iterations N] [--directions N]
+//             [--point-sims N] [--harvest N] [--seed S] [--refine]
+//             [--save-best FILE] [--csv FILE]
+//
+// Exit codes: 0 success, 1 usage error, 2 runtime error.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "cdg/runner.hpp"
+#include "cdg/skeletonizer.hpp"
+#include "coverage/holes.hpp"
+#include "coverage/repository_io.hpp"
+#include "duv/registry.hpp"
+#include "neighbors/neighbors.hpp"
+#include "report/report.hpp"
+#include "stimgen/profile.hpp"
+#include "tac/tac.hpp"
+#include "tgen/file_io.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace ascdg;
+
+int usage() {
+  std::cerr <<
+      R"(usage: ascdg <command> [options]
+
+commands:
+  units                             list the bundled simulated units
+  events <unit> [prefix]            list coverage events (optionally filtered)
+  suite <unit> [--out FILE]         print/save the unit's regression suite
+  skeletonize <template-file>       print the skeleton of a template
+      [--subranges N] [--geometric] [--mark-zeros] [--out FILE]
+  before <unit> [--sims N]          simulate the suite; TAC coverage summary
+      [--csv FILE]
+  policy <unit> [--sims N]          suggest a minimal regression policy
+  profile <unit> [--sims N]         per-parameter draw counts (SS-III)
+  holes <unit> --family F           cross-product hole analysis
+      [--sims N] [--max-order K]
+  run <unit> --family F             the full AS-CDG flow on a family
+      [--before-sims N] [--samples N] [--sample-sims N] [--iterations N]
+      [--directions N] [--point-sims N] [--harvest N] [--seed S]
+      [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
+      [--save-before FILE.csv] [--before-csv FILE.csv]
+)";
+  return 1;
+}
+
+std::unique_ptr<duv::Duv> make_unit(const std::string& name) {
+  return duv::make_unit(name);
+}
+
+/// Tiny argv cursor: flag/value extraction with error reporting.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// First non-flag positional argument, consumed.
+  std::optional<std::string> positional() {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (!args_[i].starts_with("--")) {
+        std::string value = args_[i];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool flag(const char* name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == name) {
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::optional<std::string> value(const char* name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == name) {
+        std::string out = args_[i + 1];
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                    args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+        return out;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::size_t size_value(const char* name, std::size_t fallback) {
+    const auto text = value(name);
+    if (!text.has_value()) return fallback;
+    const auto parsed = util::parse_int(*text);
+    if (!parsed.has_value() || *parsed < 0) {
+      throw util::ConfigError(std::string("bad value for ") + name + ": '" +
+                              *text + "'");
+    }
+    return static_cast<std::size_t>(*parsed);
+  }
+
+  /// Remaining unconsumed arguments (should be empty at the end).
+  [[nodiscard]] const std::vector<std::string>& rest() const { return args_; }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+coverage::CoverageRepository simulate_suite(const duv::Duv& unit,
+                                            batch::SimFarm& farm,
+                                            std::size_t sims) {
+  coverage::CoverageRepository repo(unit.space().size());
+  const auto suite = unit.suite();
+  std::vector<batch::SimFarm::Job> jobs;
+  for (std::size_t j = 0; j < suite.size(); ++j) {
+    jobs.push_back({&suite[j], sims, 0xC11 + j});
+  }
+  const auto stats = farm.run_all(unit, jobs);
+  for (std::size_t j = 0; j < suite.size(); ++j) {
+    repo.record(suite[j].name(), stats[j]);
+  }
+  return repo;
+}
+
+int cmd_units() {
+  for (const auto& name : duv::unit_names()) {
+    std::cout << name << std::string(name.size() < 10 ? 10 - name.size() : 1, ' ')
+              << duv::unit_description(name) << '\n';
+  }
+  return 0;
+}
+
+int cmd_events(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const auto prefix = args.positional().value_or("");
+  const auto& space = unit->space();
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const coverage::EventId id{static_cast<std::uint32_t>(i)};
+    if (!space.name(id).starts_with(prefix)) continue;
+    std::cout << space.name(id) << '\n';
+    ++shown;
+  }
+  std::cerr << shown << " events";
+  if (!prefix.empty()) std::cerr << " matching '" << prefix << "'";
+  std::cerr << "; families:";
+  for (const auto& family : space.family_names()) std::cerr << ' ' << family;
+  std::cerr << '\n';
+  return 0;
+}
+
+int cmd_suite(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const auto suite = unit->suite();
+  if (const auto out = args.value("--out"); out.has_value()) {
+    tgen::save_templates(*out, suite);
+    std::cerr << "wrote " << suite.size() << " templates to " << *out << '\n';
+    return 0;
+  }
+  for (const auto& tmpl : suite) std::cout << tgen::to_text(tmpl) << '\n';
+  return 0;
+}
+
+int cmd_skeletonize(Args& args) {
+  const auto file = args.positional();
+  if (!file.has_value()) return usage();
+  cdg::SkeletonizerOptions options;
+  options.subranges = args.size_value("--subranges", options.subranges);
+  if (args.flag("--geometric")) {
+    options.spacing = cdg::SubrangeSpacing::kGeometric;
+  }
+  options.mark_zero_weights = args.flag("--mark-zeros");
+  const auto tmpl = tgen::load_template(*file);
+  const auto skeleton = cdg::Skeletonizer(options).skeletonize(tmpl);
+  if (const auto out = args.value("--out"); out.has_value()) {
+    tgen::save_skeleton(*out, skeleton);
+    std::cerr << "wrote skeleton (" << skeleton.mark_count() << " marks) to "
+              << *out << '\n';
+  } else {
+    std::cout << tgen::to_text(skeleton);
+    std::cerr << skeleton.mark_count() << " marks\n";
+  }
+  return 0;
+}
+
+int cmd_before(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const std::size_t sims = args.size_value("--sims", 2000);
+  batch::SimFarm farm;
+  const auto repo = simulate_suite(*unit, farm, sims);
+
+  util::Table table({"template", "sims", "events hit", "uncovered after"});
+  const tac::Tac tac_view(repo);
+  coverage::SimStats cumulative(unit->space().size());
+  for (const auto& name : repo.template_names()) {
+    const auto& stats = repo.stats(name);
+    std::size_t hit = 0;
+    for (std::size_t e = 0; e < stats.event_count(); ++e) {
+      if (stats.hits(coverage::EventId{static_cast<std::uint32_t>(e)}) > 0) {
+        ++hit;
+      }
+    }
+    cumulative.merge(stats);
+    std::size_t uncovered = 0;
+    for (std::size_t e = 0; e < cumulative.event_count(); ++e) {
+      if (cumulative.hits(coverage::EventId{static_cast<std::uint32_t>(e)}) ==
+          0) {
+        ++uncovered;
+      }
+    }
+    table.add_row({name, util::format_count(stats.sims()),
+                   std::to_string(hit), std::to_string(uncovered)});
+  }
+  table.render(std::cout, util::stdout_supports_color());
+  const auto uncovered = tac_view.uncovered_events();
+  std::cout << "\nuncovered events (" << uncovered.size() << "):";
+  for (const auto event : uncovered) {
+    std::cout << ' ' << unit->space().name(event);
+  }
+  std::cout << '\n';
+  if (const auto csv = args.value("--csv"); csv.has_value()) {
+    std::ofstream out(*csv);
+    table.render_csv(out);
+    std::cerr << "wrote " << *csv << '\n';
+  }
+  return 0;
+}
+
+int cmd_policy(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const std::size_t sims = args.size_value("--sims", 2000);
+  batch::SimFarm farm;
+  const auto repo = simulate_suite(*unit, farm, sims);
+  const tac::Tac tac_view(repo);
+  const auto policy = tac_view.suggest_regression_policy();
+  std::cout << "suggested regression policy (" << policy.size() << " of "
+            << repo.template_names().size() << " templates, in value order):\n";
+  for (const auto& name : policy) std::cout << "  " << name << '\n';
+  return 0;
+}
+
+int cmd_profile(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const std::size_t sims = args.size_value("--sims", 500);
+  stimgen::ScopedDrawProfiler profiler;
+  for (std::size_t i = 0; i < sims; ++i) {
+    (void)unit->simulate(unit->defaults(), 0xF0F1A + i);
+  }
+  util::Table table({"parameter", "total draws", "draws per simulation"});
+  for (const auto& [name, count] : profiler.counts()) {
+    table.add_row({name, util::format_count(count),
+                   util::format_number(static_cast<double>(count) /
+                                           static_cast<double>(sims),
+                                       4)});
+  }
+  table.render(std::cout, util::stdout_supports_color());
+  std::cout << "(" << sims << " simulations of the default template; "
+            << "consult frequencies differ per parameter exactly as the "
+               "paper's SS-III describes)\n";
+  return 0;
+}
+
+int cmd_holes(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const auto family = args.value("--family");
+  if (!family.has_value()) {
+    std::cerr << "holes: --family is required\n";
+    return 1;
+  }
+  const auto* cp = unit->space().find_cross_product(*family);
+  if (cp == nullptr) {
+    std::cerr << "'" << *family << "' is not a cross product on this unit\n";
+    return 1;
+  }
+  const std::size_t sims = args.size_value("--sims", 2000);
+  const std::size_t max_order = args.size_value("--max-order", 2);
+  batch::SimFarm farm;
+  const auto repo = simulate_suite(*unit, farm, sims);
+  const auto holes =
+      coverage::find_holes(unit->space(), *cp, repo.total(), max_order);
+  std::cout << holes.size() << " maximal holes (order <= " << max_order
+            << ") after " << util::format_count(repo.total_sims())
+            << " suite sims:\n";
+  for (const auto& hole : holes) {
+    std::cout << "  " << coverage::describe(*cp, hole) << '\n';
+  }
+  return 0;
+}
+
+int cmd_run(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const auto family = args.value("--family");
+  if (!family.has_value()) {
+    std::cerr << "run: --family is required\n";
+    return 1;
+  }
+  if (unit->space().family_events(*family).empty()) {
+    std::cerr << "unknown family '" << *family << "'; families:";
+    for (const auto& name : unit->space().family_names()) {
+      std::cerr << ' ' << name;
+    }
+    std::cerr << '\n';
+    return 1;
+  }
+
+  cdg::FlowConfig config;
+  const std::size_t before_sims = args.size_value("--before-sims", 5000);
+  config.sample_templates = args.size_value("--samples", 200);
+  config.sample_sims = args.size_value("--sample-sims", 100);
+  config.opt_max_iterations = args.size_value("--iterations", 25);
+  config.opt_directions = args.size_value("--directions", 19);
+  config.opt_sims_per_point = args.size_value("--point-sims", 200);
+  config.harvest_sims = args.size_value("--harvest", 10000);
+  config.seed = args.size_value("--seed", 2021);
+  config.refine_with_real_target = args.flag("--refine");
+
+  batch::SimFarm farm;
+  coverage::CoverageRepository repo(unit->space().size());
+  if (const auto csv = args.value("--before-csv"); csv.has_value()) {
+    repo = coverage::load_repository(*csv, unit->space());
+    std::cerr << "loaded before-CDG coverage from " << *csv << " ("
+              << util::format_count(repo.total_sims()) << " sims)\n";
+  } else {
+    repo = simulate_suite(*unit, farm, before_sims);
+  }
+  if (const auto csv = args.value("--save-before"); csv.has_value()) {
+    coverage::save_repository(*csv, unit->space(), repo);
+    std::cerr << "wrote before-CDG coverage to " << *csv << '\n';
+  }
+  const auto target =
+      neighbors::family_target(unit->space(), *family, repo.total());
+  std::cout << "targets (" << target.targets().size() << "):";
+  for (const auto event : target.targets()) {
+    std::cout << ' ' << unit->space().name(event);
+  }
+  std::cout << '\n';
+
+  cdg::CdgRunner runner(*unit, farm, config);
+  const auto suite = unit->suite();
+  const auto result = runner.run(target, repo, suite);
+
+  const auto events = unit->space().family_events(*family);
+  const bool color = util::stdout_supports_color();
+  std::cout << "seed template: " << result.seed_template << "\n"
+            << report::phase_caption(result) << "\n\n";
+  if (events.size() <= 24) {
+    report::phase_table(unit->space(), events, result).render(std::cout, color);
+  } else {
+    report::render_status_bars(std::cout, events, result, color);
+    std::cout << '\n';
+    report::status_table(unit->space(), events, result)
+        .render(std::cout, color);
+  }
+  std::cout << "\ntotal simulations: "
+            << util::format_count(farm.total_simulations()) << '\n';
+
+  if (const auto out = args.value("--save-best"); out.has_value()) {
+    tgen::save_template(*out, result.best_template);
+    std::cerr << "wrote best template to " << *out << '\n';
+  }
+  if (const auto csv = args.value("--csv"); csv.has_value()) {
+    std::ofstream out(*csv);
+    report::phase_table(unit->space(), events, result).render_csv(out);
+    std::cerr << "wrote " << *csv << '\n';
+  }
+  if (const auto md = args.value("--report"); md.has_value()) {
+    report::write_flow_markdown(*md, unit->space(), events, result);
+    std::cerr << "wrote " << *md << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  util::set_log_level(util::LogLevel::kWarn);
+  try {
+    int rc;
+    if (command == "units") {
+      rc = cmd_units();
+    } else if (command == "events") {
+      rc = cmd_events(args);
+    } else if (command == "suite") {
+      rc = cmd_suite(args);
+    } else if (command == "skeletonize") {
+      rc = cmd_skeletonize(args);
+    } else if (command == "before") {
+      rc = cmd_before(args);
+    } else if (command == "policy") {
+      rc = cmd_policy(args);
+    } else if (command == "profile") {
+      rc = cmd_profile(args);
+    } else if (command == "holes") {
+      rc = cmd_holes(args);
+    } else if (command == "run") {
+      rc = cmd_run(args);
+    } else {
+      return usage();
+    }
+    if (rc == 0 && !args.rest().empty()) {
+      std::cerr << "warning: unrecognized arguments:";
+      for (const auto& arg : args.rest()) std::cerr << ' ' << arg;
+      std::cerr << '\n';
+    }
+    return rc;
+  } catch (const std::exception& err) {
+    std::cerr << "error: " << err.what() << '\n';
+    return 2;
+  }
+}
