@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hyper.dir/bench_ablation_hyper.cpp.o"
+  "CMakeFiles/bench_ablation_hyper.dir/bench_ablation_hyper.cpp.o.d"
+  "bench_ablation_hyper"
+  "bench_ablation_hyper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hyper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_target.dir/bench_ablation_target.cpp.o"
+  "CMakeFiles/bench_ablation_target.dir/bench_ablation_target.cpp.o.d"
+  "bench_ablation_target"
+  "bench_ablation_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_dfo.dir/bench_baseline_dfo.cpp.o"
+  "CMakeFiles/bench_baseline_dfo.dir/bench_baseline_dfo.cpp.o.d"
+  "bench_baseline_dfo"
+  "bench_baseline_dfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_dfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_io_unit.cpp" "bench/CMakeFiles/bench_fig3_io_unit.dir/bench_fig3_io_unit.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_io_unit.dir/bench_fig3_io_unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/ascdg_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdg/CMakeFiles/ascdg_cdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/ascdg_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/duv/CMakeFiles/ascdg_duv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stimgen/CMakeFiles/ascdg_stimgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/ascdg_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbors/CMakeFiles/ascdg_neighbors.dir/DependInfo.cmake"
+  "/root/repo/build/src/tac/CMakeFiles/ascdg_tac.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ascdg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ascdg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

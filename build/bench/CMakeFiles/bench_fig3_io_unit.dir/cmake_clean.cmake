@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_io_unit.dir/bench_fig3_io_unit.cpp.o"
+  "CMakeFiles/bench_fig3_io_unit.dir/bench_fig3_io_unit.cpp.o.d"
+  "bench_fig3_io_unit"
+  "bench_fig3_io_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_io_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_ifu.dir/bench_fig5_ifu.cpp.o"
+  "CMakeFiles/bench_fig5_ifu.dir/bench_fig5_ifu.cpp.o.d"
+  "bench_fig5_ifu"
+  "bench_fig5_ifu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_ifu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

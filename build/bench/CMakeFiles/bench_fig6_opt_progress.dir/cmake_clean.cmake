@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_opt_progress.dir/bench_fig6_opt_progress.cpp.o"
+  "CMakeFiles/bench_fig6_opt_progress.dir/bench_fig6_opt_progress.cpp.o.d"
+  "bench_fig6_opt_progress"
+  "bench_fig6_opt_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_opt_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

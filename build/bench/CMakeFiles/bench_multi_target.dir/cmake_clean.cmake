@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_target.dir/bench_multi_target.cpp.o"
+  "CMakeFiles/bench_multi_target.dir/bench_multi_target.cpp.o.d"
+  "bench_multi_target"
+  "bench_multi_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_duv.dir/custom_duv.cpp.o"
+  "CMakeFiles/custom_duv.dir/custom_duv.cpp.o.d"
+  "custom_duv"
+  "custom_duv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_duv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

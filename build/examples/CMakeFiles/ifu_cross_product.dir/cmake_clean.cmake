@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifu_cross_product.dir/ifu_cross_product.cpp.o"
+  "CMakeFiles/ifu_cross_product.dir/ifu_cross_product.cpp.o.d"
+  "ifu_cross_product"
+  "ifu_cross_product.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifu_cross_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ifu_cross_product.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ifu_cross_product.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l3_bypass_closure.dir/l3_bypass_closure.cpp.o"
+  "CMakeFiles/l3_bypass_closure.dir/l3_bypass_closure.cpp.o.d"
+  "l3_bypass_closure"
+  "l3_bypass_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l3_bypass_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

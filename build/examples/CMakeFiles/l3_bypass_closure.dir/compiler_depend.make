@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for l3_bypass_closure.
+# This may be replaced when dependencies are built.

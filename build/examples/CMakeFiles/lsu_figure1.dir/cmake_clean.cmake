@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsu_figure1.dir/lsu_figure1.cpp.o"
+  "CMakeFiles/lsu_figure1.dir/lsu_figure1.cpp.o.d"
+  "lsu_figure1"
+  "lsu_figure1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsu_figure1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeletonizer_tour.dir/skeletonizer_tour.cpp.o"
+  "CMakeFiles/skeletonizer_tour.dir/skeletonizer_tour.cpp.o.d"
+  "skeletonizer_tour"
+  "skeletonizer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeletonizer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/sim_farm.cpp" "src/batch/CMakeFiles/ascdg_batch.dir/sim_farm.cpp.o" "gcc" "src/batch/CMakeFiles/ascdg_batch.dir/sim_farm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/ascdg_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ascdg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/duv/CMakeFiles/ascdg_duv.dir/DependInfo.cmake"
+  "/root/repo/build/src/stimgen/CMakeFiles/ascdg_stimgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

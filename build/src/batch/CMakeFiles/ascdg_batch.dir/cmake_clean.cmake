@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_batch.dir/sim_farm.cpp.o"
+  "CMakeFiles/ascdg_batch.dir/sim_farm.cpp.o.d"
+  "libascdg_batch.a"
+  "libascdg_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

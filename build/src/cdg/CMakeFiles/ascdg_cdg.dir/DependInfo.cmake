@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdg/cdg_objective.cpp" "src/cdg/CMakeFiles/ascdg_cdg.dir/cdg_objective.cpp.o" "gcc" "src/cdg/CMakeFiles/ascdg_cdg.dir/cdg_objective.cpp.o.d"
+  "/root/repo/src/cdg/multi_target.cpp" "src/cdg/CMakeFiles/ascdg_cdg.dir/multi_target.cpp.o" "gcc" "src/cdg/CMakeFiles/ascdg_cdg.dir/multi_target.cpp.o.d"
+  "/root/repo/src/cdg/random_sample.cpp" "src/cdg/CMakeFiles/ascdg_cdg.dir/random_sample.cpp.o" "gcc" "src/cdg/CMakeFiles/ascdg_cdg.dir/random_sample.cpp.o.d"
+  "/root/repo/src/cdg/runner.cpp" "src/cdg/CMakeFiles/ascdg_cdg.dir/runner.cpp.o" "gcc" "src/cdg/CMakeFiles/ascdg_cdg.dir/runner.cpp.o.d"
+  "/root/repo/src/cdg/skeletonizer.cpp" "src/cdg/CMakeFiles/ascdg_cdg.dir/skeletonizer.cpp.o" "gcc" "src/cdg/CMakeFiles/ascdg_cdg.dir/skeletonizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/ascdg_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ascdg_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/duv/CMakeFiles/ascdg_duv.dir/DependInfo.cmake"
+  "/root/repo/build/src/batch/CMakeFiles/ascdg_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tac/CMakeFiles/ascdg_tac.dir/DependInfo.cmake"
+  "/root/repo/build/src/neighbors/CMakeFiles/ascdg_neighbors.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/ascdg_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stimgen/CMakeFiles/ascdg_stimgen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_cdg.dir/cdg_objective.cpp.o"
+  "CMakeFiles/ascdg_cdg.dir/cdg_objective.cpp.o.d"
+  "CMakeFiles/ascdg_cdg.dir/multi_target.cpp.o"
+  "CMakeFiles/ascdg_cdg.dir/multi_target.cpp.o.d"
+  "CMakeFiles/ascdg_cdg.dir/random_sample.cpp.o"
+  "CMakeFiles/ascdg_cdg.dir/random_sample.cpp.o.d"
+  "CMakeFiles/ascdg_cdg.dir/runner.cpp.o"
+  "CMakeFiles/ascdg_cdg.dir/runner.cpp.o.d"
+  "CMakeFiles/ascdg_cdg.dir/skeletonizer.cpp.o"
+  "CMakeFiles/ascdg_cdg.dir/skeletonizer.cpp.o.d"
+  "libascdg_cdg.a"
+  "libascdg_cdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_cdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coverage/holes.cpp" "src/coverage/CMakeFiles/ascdg_coverage.dir/holes.cpp.o" "gcc" "src/coverage/CMakeFiles/ascdg_coverage.dir/holes.cpp.o.d"
+  "/root/repo/src/coverage/repository.cpp" "src/coverage/CMakeFiles/ascdg_coverage.dir/repository.cpp.o" "gcc" "src/coverage/CMakeFiles/ascdg_coverage.dir/repository.cpp.o.d"
+  "/root/repo/src/coverage/repository_io.cpp" "src/coverage/CMakeFiles/ascdg_coverage.dir/repository_io.cpp.o" "gcc" "src/coverage/CMakeFiles/ascdg_coverage.dir/repository_io.cpp.o.d"
+  "/root/repo/src/coverage/space.cpp" "src/coverage/CMakeFiles/ascdg_coverage.dir/space.cpp.o" "gcc" "src/coverage/CMakeFiles/ascdg_coverage.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

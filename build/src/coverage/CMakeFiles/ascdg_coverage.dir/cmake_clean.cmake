@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_coverage.dir/holes.cpp.o"
+  "CMakeFiles/ascdg_coverage.dir/holes.cpp.o.d"
+  "CMakeFiles/ascdg_coverage.dir/repository.cpp.o"
+  "CMakeFiles/ascdg_coverage.dir/repository.cpp.o.d"
+  "CMakeFiles/ascdg_coverage.dir/repository_io.cpp.o"
+  "CMakeFiles/ascdg_coverage.dir/repository_io.cpp.o.d"
+  "CMakeFiles/ascdg_coverage.dir/space.cpp.o"
+  "CMakeFiles/ascdg_coverage.dir/space.cpp.o.d"
+  "libascdg_coverage.a"
+  "libascdg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

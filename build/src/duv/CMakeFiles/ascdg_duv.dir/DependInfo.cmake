@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/duv/ifu.cpp" "src/duv/CMakeFiles/ascdg_duv.dir/ifu.cpp.o" "gcc" "src/duv/CMakeFiles/ascdg_duv.dir/ifu.cpp.o.d"
+  "/root/repo/src/duv/io_unit.cpp" "src/duv/CMakeFiles/ascdg_duv.dir/io_unit.cpp.o" "gcc" "src/duv/CMakeFiles/ascdg_duv.dir/io_unit.cpp.o.d"
+  "/root/repo/src/duv/l3_cache.cpp" "src/duv/CMakeFiles/ascdg_duv.dir/l3_cache.cpp.o" "gcc" "src/duv/CMakeFiles/ascdg_duv.dir/l3_cache.cpp.o.d"
+  "/root/repo/src/duv/lsu.cpp" "src/duv/CMakeFiles/ascdg_duv.dir/lsu.cpp.o" "gcc" "src/duv/CMakeFiles/ascdg_duv.dir/lsu.cpp.o.d"
+  "/root/repo/src/duv/registry.cpp" "src/duv/CMakeFiles/ascdg_duv.dir/registry.cpp.o" "gcc" "src/duv/CMakeFiles/ascdg_duv.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/ascdg_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/stimgen/CMakeFiles/ascdg_stimgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/coverage/CMakeFiles/ascdg_coverage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_duv.dir/ifu.cpp.o"
+  "CMakeFiles/ascdg_duv.dir/ifu.cpp.o.d"
+  "CMakeFiles/ascdg_duv.dir/io_unit.cpp.o"
+  "CMakeFiles/ascdg_duv.dir/io_unit.cpp.o.d"
+  "CMakeFiles/ascdg_duv.dir/l3_cache.cpp.o"
+  "CMakeFiles/ascdg_duv.dir/l3_cache.cpp.o.d"
+  "CMakeFiles/ascdg_duv.dir/lsu.cpp.o"
+  "CMakeFiles/ascdg_duv.dir/lsu.cpp.o.d"
+  "CMakeFiles/ascdg_duv.dir/registry.cpp.o"
+  "CMakeFiles/ascdg_duv.dir/registry.cpp.o.d"
+  "libascdg_duv.a"
+  "libascdg_duv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_duv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

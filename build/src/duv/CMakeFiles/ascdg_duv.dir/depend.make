@@ -1,0 +1,2 @@
+# Empty dependencies file for ascdg_duv.
+# This may be replaced when dependencies are built.

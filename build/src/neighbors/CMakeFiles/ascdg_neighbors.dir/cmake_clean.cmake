@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_neighbors.dir/neighbors.cpp.o"
+  "CMakeFiles/ascdg_neighbors.dir/neighbors.cpp.o.d"
+  "libascdg_neighbors.a"
+  "libascdg_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

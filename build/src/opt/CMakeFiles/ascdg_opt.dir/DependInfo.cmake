@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/baselines.cpp" "src/opt/CMakeFiles/ascdg_opt.dir/baselines.cpp.o" "gcc" "src/opt/CMakeFiles/ascdg_opt.dir/baselines.cpp.o.d"
+  "/root/repo/src/opt/implicit_filtering.cpp" "src/opt/CMakeFiles/ascdg_opt.dir/implicit_filtering.cpp.o" "gcc" "src/opt/CMakeFiles/ascdg_opt.dir/implicit_filtering.cpp.o.d"
+  "/root/repo/src/opt/synthetic.cpp" "src/opt/CMakeFiles/ascdg_opt.dir/synthetic.cpp.o" "gcc" "src/opt/CMakeFiles/ascdg_opt.dir/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_opt.dir/baselines.cpp.o"
+  "CMakeFiles/ascdg_opt.dir/baselines.cpp.o.d"
+  "CMakeFiles/ascdg_opt.dir/implicit_filtering.cpp.o"
+  "CMakeFiles/ascdg_opt.dir/implicit_filtering.cpp.o.d"
+  "CMakeFiles/ascdg_opt.dir/synthetic.cpp.o"
+  "CMakeFiles/ascdg_opt.dir/synthetic.cpp.o.d"
+  "libascdg_opt.a"
+  "libascdg_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

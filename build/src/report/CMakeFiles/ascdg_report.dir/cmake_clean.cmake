@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_report.dir/report.cpp.o"
+  "CMakeFiles/ascdg_report.dir/report.cpp.o.d"
+  "libascdg_report.a"
+  "libascdg_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

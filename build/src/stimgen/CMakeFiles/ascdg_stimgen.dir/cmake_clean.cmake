@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_stimgen.dir/profile.cpp.o"
+  "CMakeFiles/ascdg_stimgen.dir/profile.cpp.o.d"
+  "CMakeFiles/ascdg_stimgen.dir/sampler.cpp.o"
+  "CMakeFiles/ascdg_stimgen.dir/sampler.cpp.o.d"
+  "libascdg_stimgen.a"
+  "libascdg_stimgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_stimgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ascdg_stimgen.
+# This may be replaced when dependencies are built.

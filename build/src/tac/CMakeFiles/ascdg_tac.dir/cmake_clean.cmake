@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_tac.dir/tac.cpp.o"
+  "CMakeFiles/ascdg_tac.dir/tac.cpp.o.d"
+  "libascdg_tac.a"
+  "libascdg_tac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_tac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libascdg_tac.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgen/file_io.cpp" "src/tgen/CMakeFiles/ascdg_tgen.dir/file_io.cpp.o" "gcc" "src/tgen/CMakeFiles/ascdg_tgen.dir/file_io.cpp.o.d"
+  "/root/repo/src/tgen/parameter.cpp" "src/tgen/CMakeFiles/ascdg_tgen.dir/parameter.cpp.o" "gcc" "src/tgen/CMakeFiles/ascdg_tgen.dir/parameter.cpp.o.d"
+  "/root/repo/src/tgen/parser.cpp" "src/tgen/CMakeFiles/ascdg_tgen.dir/parser.cpp.o" "gcc" "src/tgen/CMakeFiles/ascdg_tgen.dir/parser.cpp.o.d"
+  "/root/repo/src/tgen/skeleton.cpp" "src/tgen/CMakeFiles/ascdg_tgen.dir/skeleton.cpp.o" "gcc" "src/tgen/CMakeFiles/ascdg_tgen.dir/skeleton.cpp.o.d"
+  "/root/repo/src/tgen/test_template.cpp" "src/tgen/CMakeFiles/ascdg_tgen.dir/test_template.cpp.o" "gcc" "src/tgen/CMakeFiles/ascdg_tgen.dir/test_template.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ascdg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_tgen.dir/file_io.cpp.o"
+  "CMakeFiles/ascdg_tgen.dir/file_io.cpp.o.d"
+  "CMakeFiles/ascdg_tgen.dir/parameter.cpp.o"
+  "CMakeFiles/ascdg_tgen.dir/parameter.cpp.o.d"
+  "CMakeFiles/ascdg_tgen.dir/parser.cpp.o"
+  "CMakeFiles/ascdg_tgen.dir/parser.cpp.o.d"
+  "CMakeFiles/ascdg_tgen.dir/skeleton.cpp.o"
+  "CMakeFiles/ascdg_tgen.dir/skeleton.cpp.o.d"
+  "CMakeFiles/ascdg_tgen.dir/test_template.cpp.o"
+  "CMakeFiles/ascdg_tgen.dir/test_template.cpp.o.d"
+  "libascdg_tgen.a"
+  "libascdg_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_util.dir/error.cpp.o"
+  "CMakeFiles/ascdg_util.dir/error.cpp.o.d"
+  "CMakeFiles/ascdg_util.dir/log.cpp.o"
+  "CMakeFiles/ascdg_util.dir/log.cpp.o.d"
+  "CMakeFiles/ascdg_util.dir/rng.cpp.o"
+  "CMakeFiles/ascdg_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ascdg_util.dir/stats.cpp.o"
+  "CMakeFiles/ascdg_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ascdg_util.dir/strings.cpp.o"
+  "CMakeFiles/ascdg_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ascdg_util.dir/table.cpp.o"
+  "CMakeFiles/ascdg_util.dir/table.cpp.o.d"
+  "libascdg_util.a"
+  "libascdg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

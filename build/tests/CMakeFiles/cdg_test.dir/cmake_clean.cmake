@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdg_test.dir/cdg_test.cpp.o"
+  "CMakeFiles/cdg_test.dir/cdg_test.cpp.o.d"
+  "cdg_test"
+  "cdg_test.pdb"
+  "cdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/duv_test.dir/duv_test.cpp.o"
+  "CMakeFiles/duv_test.dir/duv_test.cpp.o.d"
+  "duv_test"
+  "duv_test.pdb"
+  "duv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/duv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

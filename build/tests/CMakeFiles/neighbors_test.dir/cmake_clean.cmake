@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbors_test.dir/neighbors_test.cpp.o"
+  "CMakeFiles/neighbors_test.dir/neighbors_test.cpp.o.d"
+  "neighbors_test"
+  "neighbors_test.pdb"
+  "neighbors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stimgen_test.dir/stimgen_test.cpp.o"
+  "CMakeFiles/stimgen_test.dir/stimgen_test.cpp.o.d"
+  "stimgen_test"
+  "stimgen_test.pdb"
+  "stimgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stimgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tac_test.dir/tac_test.cpp.o"
+  "CMakeFiles/tac_test.dir/tac_test.cpp.o.d"
+  "tac_test"
+  "tac_test.pdb"
+  "tac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

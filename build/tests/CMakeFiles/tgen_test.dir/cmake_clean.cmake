@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgen_test.dir/tgen_test.cpp.o"
+  "CMakeFiles/tgen_test.dir/tgen_test.cpp.o.d"
+  "tgen_test"
+  "tgen_test.pdb"
+  "tgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/tgen_test[1]_include.cmake")
+include("/root/repo/build/tests/stimgen_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
+include("/root/repo/build/tests/duv_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/tac_test[1]_include.cmake")
+include("/root/repo/build/tests/neighbors_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/cdg_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ascdg_cli.dir/ascdg_cli.cpp.o"
+  "CMakeFiles/ascdg_cli.dir/ascdg_cli.cpp.o.d"
+  "ascdg"
+  "ascdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ascdg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
