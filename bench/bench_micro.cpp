@@ -134,8 +134,31 @@ void BM_FarmRun(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * 256));
+  const auto farm_stats = farm.telemetry();
+  state.counters["steals"] =
+      benchmark::Counter(static_cast<double>(farm_stats.steals));
 }
-BENCHMARK(BM_FarmRun)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_FarmRun)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The flow's hot shape: many independent jobs (one per sampled
+// template) fanned across few workers in one run_all call.
+void BM_FarmRunAll(benchmark::State& state) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<batch::SimFarm::Job> jobs(kJobs,
+                                        batch::SimFarm::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kJobs * kSimsPerJob));
+}
+BENCHMARK(BM_FarmRunAll)->Arg(2)->Arg(8);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

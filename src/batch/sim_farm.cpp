@@ -1,6 +1,9 @@
 #include "batch/sim_farm.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -9,50 +12,110 @@ namespace ascdg::batch {
 
 namespace {
 /// Simulations per work chunk: large enough to amortize queue overhead,
-/// small enough to load-balance across workers.
+/// small enough to load-balance (and steal well) across workers.
 constexpr std::size_t kChunk = 64;
+
+constexpr std::size_t kNotAWorker = std::numeric_limits<std::size_t>::max();
+
+/// Index of the farm worker running on this thread; kNotAWorker on
+/// caller threads. Chunk tasks use it to pick their lock-free partial
+/// accumulator slot.
+thread_local std::size_t tls_worker = kNotAWorker;
 }  // namespace
 
-SimFarm::SimFarm(std::size_t num_threads) {
-  std::size_t n = num_threads != 0 ? num_threads
-                                   : std::max<std::size_t>(
-                                         1, std::thread::hardware_concurrency());
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+SimFarm::SimFarm(std::size_t num_threads)
+    : worker_n_(num_threads != 0
+                    ? num_threads
+                    : std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency())) {
+  queues_ = std::make_unique<WorkerQueue[]>(worker_n_);
+  workers_.reserve(worker_n_);
+  for (std::size_t i = 0; i < worker_n_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 SimFarm::~SimFarm() {
   {
-    const std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    const std::scoped_lock lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
+  // Workers drain every queued chunk before exiting (see worker_loop),
+  // so an in-flight run_all on another thread completes instead of
+  // waiting forever on dropped tasks; we additionally wait for those
+  // callers to leave run_all before tearing the farm down under them.
+  {
+    std::unique_lock lock(sleep_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return active_runs_.load(std::memory_order_acquire) == 0;
+    });
+  }
   for (auto& worker : workers_) worker.join();
 }
 
-void SimFarm::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+bool SimFarm::take_task(std::size_t index, Task& task) {
+  for (std::size_t k = 0; k < worker_n_; ++k) {
+    const std::size_t q = (index + k) % worker_n_;
+    WorkerQueue& queue = queues_[q];
+    const std::scoped_lock lock(queue.mutex);
+    if (queue.tasks.empty()) continue;
+    if (k == 0) {
+      // Own deque: LIFO keeps the most recently pushed (cache-warm) end.
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    } else {
+      // Steal the oldest task from the victim's other end.
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
     }
-    task();
+    tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
+    telemetry_.on_take(/*stolen=*/k != 0);
+    return true;
+  }
+  return false;
+}
+
+void SimFarm::worker_loop(std::size_t index) {
+  tls_worker = index;
+  Task task;
+  for (;;) {
+    if (take_task(index, task)) {
+      task();
+      task = nullptr;  // drop captured state before (possibly) parking
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_relaxed) ||
+             tasks_pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stopping_.load(std::memory_order_relaxed) &&
+        tasks_pending_.load(std::memory_order_relaxed) == 0) {
+      return;  // stopping and fully drained
+    }
   }
 }
 
-void SimFarm::enqueue(std::function<void()> task) {
+void SimFarm::enqueue(Task task) {
+  ASCDG_ASSERT(!stopping_.load(std::memory_order_acquire),
+               "enqueue on a stopping SimFarm");
+  const std::size_t q =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % worker_n_;
+  // Order matters: pending count and depth telemetry rise before the
+  // task becomes stealable, so neither can ever observe a negative.
+  tasks_pending_.fetch_add(1, std::memory_order_release);
+  telemetry_.on_enqueue();
   {
-    const std::scoped_lock lock(mutex_);
-    ASCDG_ASSERT(!stopping_, "enqueue on a stopping farm");
-    queue_.push_back(std::move(task));
+    const std::scoped_lock lock(queues_[q].mutex);
+    queues_[q].tasks.push_back(std::move(task));
   }
-  cv_.notify_one();
+  {
+    // Empty critical section: a worker that just evaluated its wait
+    // predicate false cannot park between our increment and notify.
+    const std::scoped_lock lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
 }
 
 coverage::SimStats SimFarm::run(const duv::Duv& duv,
@@ -65,59 +128,133 @@ coverage::SimStats SimFarm::run(const duv::Duv& duv,
 
 std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
                                                  std::span<const Job> jobs) {
-  struct ChunkResult {
-    coverage::SimStats stats;
-    std::size_t job_index = 0;
-  };
+  // Keep the destructor from reaping the farm while this call is still
+  // inside it (the workers themselves drain independently).
+  active_runs_.fetch_add(1, std::memory_order_acq_rel);
+  struct RunGuard {
+    SimFarm* farm;
+    ~RunGuard() {
+      if (farm->active_runs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const std::scoped_lock lock(farm->sleep_mutex_);
+        farm->idle_cv_.notify_all();
+      }
+    }
+  } run_guard{this};
 
-  // Completion tracking shared by all chunks of this call.
+  const std::size_t event_count = duv.space().size();
+  const std::size_t job_n = jobs.size();
+
+  // Completion tracking shared by all chunks of this call. Partials are
+  // (worker, job)-sliced so the simulate loop is lock-free; the single
+  // mutex only serializes first-error capture and the final wakeup.
   struct Pending {
+    std::vector<coverage::SimStats> partial;  // worker-major [w * jobs + j]
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};
     std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t remaining = 0;
-    std::vector<ChunkResult> results;
+    std::condition_variable done;
+    std::exception_ptr error;
   };
-  auto pending = std::make_shared<Pending>();
 
   std::size_t chunk_count = 0;
   for (const Job& job : jobs) {
     ASCDG_ASSERT(job.tmpl != nullptr, "job with null template");
     chunk_count += (job.count + kChunk - 1) / kChunk;
   }
-  pending->remaining = chunk_count;
-  pending->results.reserve(chunk_count);
+  if (chunk_count == 0) {
+    // All jobs have count 0 (or there are none): nothing to schedule.
+    telemetry_.on_run();
+    return std::vector<coverage::SimStats>(job_n,
+                                           coverage::SimStats(event_count));
+  }
 
-  const std::size_t event_count = duv.space().size();
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const Job& job = jobs[j];
+  auto pending = std::make_shared<Pending>();
+  pending->remaining.store(chunk_count, std::memory_order_relaxed);
+  pending->partial.assign(worker_n_ * job_n, coverage::SimStats(event_count));
+
+  std::size_t enqueued = 0;
+  std::exception_ptr submit_error;
+  for (std::size_t j = 0; j < job_n && submit_error == nullptr; ++j) {
+    const Job job = jobs[j];
     const util::SeedStream seeds(job.seed_root);
     for (std::size_t begin = 0; begin < job.count; begin += kChunk) {
       const std::size_t end = std::min(begin + kChunk, job.count);
-      enqueue([this, &duv, job, j, begin, end, seeds, event_count, pending] {
-        coverage::SimStats stats(event_count);
-        for (std::size_t i = begin; i < end; ++i) {
-          stats.record(duv.simulate(*job.tmpl, seeds.at(i)));
-        }
-        total_sims_.fetch_add(end - begin, std::memory_order_relaxed);
-        {
-          const std::scoped_lock lock(pending->mutex);
-          pending->results.push_back({std::move(stats), j});
-          --pending->remaining;
-        }
-        pending->cv.notify_one();
-      });
+      try {
+        enqueue([this, &duv, job, j, job_n, begin, end, seeds, pending] {
+          // Fail fast: once one chunk failed, its siblings skip their
+          // simulations but still retire through the countdown below.
+          if (!pending->failed.load(std::memory_order_acquire)) {
+            try {
+              ASCDG_ASSERT(tls_worker < worker_n_,
+                           "batch chunk executing off the worker pool");
+              const auto start = std::chrono::steady_clock::now();
+              coverage::SimStats& acc =
+                  pending->partial[tls_worker * job_n + j];
+              for (std::size_t i = begin; i < end; ++i) {
+                acc.record(duv.simulate(*job.tmpl, seeds.at(i)));
+              }
+              const auto wall_ns =
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+              telemetry_.on_chunk(end - begin,
+                                  static_cast<std::uint64_t>(wall_ns));
+            } catch (...) {
+              telemetry_.on_exception();
+              const std::scoped_lock lock(pending->mutex);
+              if (pending->error == nullptr) {
+                pending->error = std::current_exception();
+              }
+              pending->failed.store(true, std::memory_order_release);
+            }
+          }
+          // Every path retires the chunk; the last one wakes the caller.
+          if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            const std::scoped_lock lock(pending->mutex);
+            pending->done.notify_all();
+          }
+        });
+        ++enqueued;
+      } catch (...) {
+        // enqueue refused (farm stopping): the missing chunks will never
+        // run, so retire them here, then wait out the ones already queued.
+        submit_error = std::current_exception();
+        pending->remaining.fetch_sub(chunk_count - enqueued,
+                                     std::memory_order_acq_rel);
+        break;
+      }
     }
   }
 
-  // Zero-chunk edge case (all jobs have count 0) falls straight through.
   {
     std::unique_lock lock(pending->mutex);
-    pending->cv.wait(lock, [&] { return pending->remaining == 0; });
+    pending->done.wait(lock, [&] {
+      return pending->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  telemetry_.on_run();
+
+  if (submit_error != nullptr) std::rethrow_exception(submit_error);
+  if (pending->failed.load(std::memory_order_acquire)) {
+    // Move the exception out of Pending so its last reference is
+    // released on this thread — a worker may drop the final Pending
+    // ref concurrently, and the caller is still reading the rethrown
+    // exception (e.g. its what() string) at that point.
+    std::exception_ptr error;
+    {
+      const std::scoped_lock lock(pending->mutex);
+      error = std::move(pending->error);
+    }
+    std::rethrow_exception(error);
   }
 
-  std::vector<coverage::SimStats> out(jobs.size(), coverage::SimStats(event_count));
-  for (auto& chunk : pending->results) {
-    out[chunk.job_index].merge(chunk.stats);
+  std::vector<coverage::SimStats> out(job_n, coverage::SimStats(event_count));
+  for (std::size_t w = 0; w < worker_n_; ++w) {
+    for (std::size_t j = 0; j < job_n; ++j) {
+      const coverage::SimStats& part = pending->partial[w * job_n + j];
+      if (part.sims() != 0) out[j].merge(part);
+    }
   }
   return out;
 }

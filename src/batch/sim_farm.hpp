@@ -1,13 +1,29 @@
-// The batch simulation environment (paper Fig. 2: "Batch env").
+// The batch simulation environment (paper Fig. 2: "Batch env"), v2.
 //
 // The CDG-Runner "sends the templates to the batch environment for
 // simulation [and] collects the coverage data". SimFarm is that
 // environment: a persistent worker pool that simulates N test-instances
 // of a template and accumulates the per-event hit counts.
 //
+// v2 scheduling: each worker owns a deque of chunk tasks; submission
+// round-robins across the deques and an idle worker steals from its
+// peers before sleeping, so one slow chunk never serializes the pool
+// behind a global queue lock. Hit counts accumulate into per-(worker,
+// job) partials that the caller merges once at join time — the hot
+// simulate() loop takes no lock at all.
+//
 // Determinism: the seed of instance i of a run is a pure function of
 // (seed_root, i) via a SeedStream, and hit-count accumulation is
-// commutative, so results are bit-identical for any worker count.
+// commutative, so results are bit-identical for any worker count and
+// any steal schedule.
+//
+// Failure semantics: if a simulation (or stats accumulation) throws,
+// the first exception is captured, the remaining chunks of that call
+// are skipped (their countdown still runs), and run/run_all rethrows
+// to the caller once every chunk has retired — the farm never hangs
+// and stays usable for subsequent calls. Destruction drains: queued
+// chunks finish before the workers exit, so an in-flight run_all on
+// another thread completes rather than deadlocking on dropped tasks.
 #pragma once
 
 #include <atomic>
@@ -15,11 +31,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "batch/telemetry.hpp"
 #include "coverage/repository.hpp"
 #include "duv/duv.hpp"
 #include "tgen/test_template.hpp"
@@ -30,6 +48,10 @@ class SimFarm {
  public:
   /// `num_threads` == 0 selects std::thread::hardware_concurrency().
   explicit SimFarm(std::size_t num_threads = 0);
+
+  /// Drains every queued chunk, then joins the workers. Submitting new
+  /// work during / after destruction is a caller bug and fails fast
+  /// (util::LogicError) instead of hanging.
   ~SimFarm();
 
   SimFarm(const SimFarm&) = delete;
@@ -38,6 +60,7 @@ class SimFarm {
   /// Simulates `count` instances of `tmpl` on `duv` with instance seeds
   /// derived from `seed_root`; returns the accumulated statistics.
   /// Blocks until complete. Thread-safe for concurrent callers.
+  /// Rethrows the first exception any simulation raised.
   [[nodiscard]] coverage::SimStats run(const duv::Duv& duv,
                                        const tgen::TestTemplate& tmpl,
                                        std::size_t count,
@@ -51,30 +74,64 @@ class SimFarm {
   };
 
   /// Runs all jobs (interleaved across the pool); results are returned
-  /// in job order.
+  /// in job order. Rethrows the first exception any simulation raised,
+  /// after every chunk of this call has retired.
   [[nodiscard]] std::vector<coverage::SimStats> run_all(
       const duv::Duv& duv, std::span<const Job> jobs);
 
   [[nodiscard]] std::size_t worker_count() const noexcept {
-    return workers_.size();
+    return worker_n_;
   }
 
   /// Total simulations executed by this farm since construction — the
-  /// paper's cost metric ("number of simulations").
+  /// paper's cost metric ("number of simulations"). Chunks aborted by
+  /// an exception are not counted.
   [[nodiscard]] std::size_t total_simulations() const noexcept {
-    return total_sims_.load(std::memory_order_relaxed);
+    return telemetry_.simulations();
+  }
+
+  /// Point-in-time copy of the farm's run telemetry.
+  [[nodiscard]] TelemetrySnapshot telemetry() const {
+    return telemetry_.snapshot();
   }
 
  private:
-  void worker_loop();
-  void enqueue(std::function<void()> task);
+  using Task = std::function<void()>;
 
+  /// One worker's deque. Padded to its own cache line so per-worker
+  /// push/pop never false-shares with a neighbor.
+  struct alignas(64) WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  void enqueue(Task task);
+  /// Pops from `index`'s own deque, else steals from a peer (scanning
+  /// from index+1). Returns false when every deque is empty.
+  bool take_task(std::size_t index, Task& task);
+
+  /// Fixed before any worker starts (workers_ itself is still being
+  /// populated while early workers run, so they must not size() it).
+  std::size_t worker_n_;
+  std::unique_ptr<WorkerQueue[]> queues_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::atomic<std::size_t> total_sims_{0};
+
+  // Idle workers park on sleep_cv_; tasks_pending_ counts chunks that
+  // are queued but not yet taken (enqueue increments, take decrements
+  // under the owning deque's lock).
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  /// Signalled when the last in-flight run_all retires; the destructor
+  /// waits on it so a concurrent caller finishes using the farm before
+  /// the workers are reaped.
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> tasks_pending_{0};
+  std::atomic<std::size_t> active_runs_{0};
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+
+  Telemetry telemetry_;
 };
 
 }  // namespace ascdg::batch

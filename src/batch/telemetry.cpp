@@ -1,0 +1,86 @@
+#include "batch/telemetry.hpp"
+
+#include <bit>
+#include <chrono>
+
+#include "util/error.hpp"
+
+namespace ascdg::batch {
+
+void Telemetry::on_enqueue() noexcept {
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t depth =
+      queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_queue_depth_.compare_exchange_weak(seen, depth,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void Telemetry::on_take(bool stolen) noexcept {
+  queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Telemetry::on_chunk(std::size_t sims, std::uint64_t wall_ns) noexcept {
+  simulations_.fetch_add(sims, std::memory_order_relaxed);
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  busy_ns_.fetch_add(wall_ns, std::memory_order_relaxed);
+  const std::uint64_t us = wall_ns / 1000;
+  const std::size_t bucket =
+      us == 0 ? 0
+              : std::min<std::size_t>(std::bit_width(us) - 1,
+                                      TelemetrySnapshot::kLatencyBuckets - 1);
+  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  TelemetrySnapshot snap;
+  snap.simulations = simulations_.load(std::memory_order_relaxed);
+  snap.chunks = chunks_.load(std::memory_order_relaxed);
+  snap.steals = steals_.load(std::memory_order_relaxed);
+  snap.enqueued = enqueued_.load(std::memory_order_relaxed);
+  snap.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  snap.exceptions = exceptions_.load(std::memory_order_relaxed);
+  snap.runs = runs_.load(std::memory_order_relaxed);
+  snap.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < snap.chunk_latency.size(); ++i) {
+    snap.chunk_latency[i] = latency_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+TraceSink::TraceSink(const std::filesystem::path& path)
+    : owned_(path, std::ios::trunc), os_(&owned_) {
+  if (!owned_) {
+    throw util::Error("cannot open trace file '" + path.string() +
+                      "' for writing");
+  }
+}
+
+TraceSink::TraceSink(std::ostream& os) : os_(&os) {}
+
+void TraceSink::emit(const util::JsonObject& object) {
+  const auto ts_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+  const std::scoped_lock lock(mutex_);
+  const std::size_t seq = lines_.fetch_add(1, std::memory_order_relaxed);
+  util::JsonObject stamped;
+  stamped.add("seq", seq).add("ts_ms", static_cast<std::int64_t>(ts_ms));
+  // Splice the caller's fields after the stamps: "{...stamps...}" +
+  // "{...fields...}" -> one flat object.
+  std::string line = stamped.str();
+  const std::string body = object.str();
+  if (body.size() > 2) {  // non-empty object
+    line.pop_back();
+    line += ',';
+    line.append(body.begin() + 1, body.end());
+  }
+  *os_ << line << '\n';
+  os_->flush();
+  if (!*os_) throw util::Error("failed writing trace line");
+}
+
+}  // namespace ascdg::batch

@@ -1,0 +1,116 @@
+// Run telemetry for the batch simulation environment.
+//
+// The paper's cost metric is the number of simulations, so the farm
+// keeps first-class books: lock-free atomic counters (simulations,
+// chunks, steals, queue depth), a log2 latency histogram of chunk wall
+// time, and a JSONL trace sink that the CDG-Runner uses to record the
+// simulation budget and latency of every flow phase.
+//
+// Telemetry is write-hot / read-cold: counters are relaxed atomics
+// bumped by workers, and readers take a point-in-time snapshot()
+// (consistent enough for reporting; not a linearizable cut).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "util/jsonl.hpp"
+
+namespace ascdg::batch {
+
+/// Point-in-time copy of the farm's counters, safe to pass around.
+struct TelemetrySnapshot {
+  /// Log2-of-microseconds histogram buckets: bucket i counts chunks
+  /// whose wall time t satisfies 2^i us <= t < 2^(i+1) us (bucket 0
+  /// also absorbs sub-microsecond chunks, the last bucket the tail).
+  static constexpr std::size_t kLatencyBuckets = 20;
+
+  std::size_t simulations = 0;      ///< simulate() calls completed
+  std::size_t chunks = 0;           ///< work chunks executed
+  std::size_t steals = 0;           ///< chunks taken from another worker's deque
+  std::size_t enqueued = 0;         ///< chunks pushed onto worker deques
+  std::size_t max_queue_depth = 0;  ///< peak queued-but-not-taken chunks
+  std::size_t exceptions = 0;       ///< chunks that ended in a captured exception
+  std::size_t runs = 0;             ///< run_all() calls completed
+  std::uint64_t busy_ns = 0;        ///< summed wall time inside chunks
+  std::array<std::size_t, kLatencyBuckets> chunk_latency{};
+
+  /// Mean chunk wall time in microseconds (0 when no chunk ran).
+  [[nodiscard]] double mean_chunk_us() const noexcept {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(busy_ns) / 1000.0 /
+                             static_cast<double>(chunks);
+  }
+};
+
+/// The farm-owned counter block. All mutators are thread-safe and
+/// wait-free; snapshot() may run concurrently with them.
+class Telemetry {
+ public:
+  void on_enqueue() noexcept;
+  void on_take(bool stolen) noexcept;
+  void on_chunk(std::size_t sims, std::uint64_t wall_ns) noexcept;
+  void on_exception() noexcept { exceptions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_run() noexcept { runs_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::size_t simulations() const noexcept {
+    return simulations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+ private:
+  std::atomic<std::size_t> simulations_{0};
+  std::atomic<std::size_t> chunks_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> enqueued_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> max_queue_depth_{0};
+  std::atomic<std::size_t> exceptions_{0};
+  std::atomic<std::size_t> runs_{0};
+  std::atomic<std::uint64_t> busy_ns_{0};
+  std::array<std::atomic<std::size_t>, TelemetrySnapshot::kLatencyBuckets>
+      latency_{};
+};
+
+/// Thread-safe JSONL sink: one util::JsonObject per line, each stamped
+/// with a monotone per-sink sequence number ("seq") and a wall-clock
+/// timestamp in milliseconds since the Unix epoch ("ts_ms").
+///
+/// The CDG-Runner emits flow_start / phase / flow_end events here (see
+/// DESIGN.md for the field schema); anything else with access to the
+/// sink may append its own event types.
+class TraceSink {
+ public:
+  /// Opens (truncating) `path`; throws util::Error on failure.
+  explicit TraceSink(const std::filesystem::path& path);
+
+  /// Writes to a caller-owned stream (not owned; must outlive the sink).
+  explicit TraceSink(std::ostream& os);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Appends one line: the object plus seq / ts_ms stamps. Flushes so a
+  /// crashed run still leaves a usable trace.
+  void emit(const util::JsonObject& object);
+
+  /// Lines written so far.
+  [[nodiscard]] std::size_t lines() const noexcept {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::mutex mutex_;
+  std::atomic<std::size_t> lines_{0};
+};
+
+}  // namespace ascdg::batch

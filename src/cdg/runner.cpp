@@ -1,12 +1,40 @@
 #include "cdg/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 namespace ascdg::cdg {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Emits one "phase" trace event: the phase's simulation budget and
+/// latency, plus any caller-supplied detail fields.
+void trace_phase(batch::TraceSink* sink, std::string_view key,
+                 const PhaseOutcome& phase, const util::JsonObject& details) {
+  if (sink == nullptr) return;
+  util::JsonObject event;
+  event.add("event", "phase")
+      .add("phase", key)
+      .add("label", phase.name)
+      .add("sims", phase.sims)
+      .add("wall_ms", phase.wall_ms)
+      .merge(details);
+  sink->emit(event);
+}
+
+}  // namespace
 
 CdgRunner::CdgRunner(const duv::Duv& duv, batch::SimFarm& farm,
                      FlowConfig config)
@@ -62,6 +90,13 @@ FlowResult CdgRunner::run(const neighbors::ApproximatedTarget& target,
   seed.set_name(util::join(merged_names, "+"));
   util::log_info("coarse search selected template(s) '", seed.name(),
                  "' (top score ", ranked.front().score, ")");
+  if (config_.trace != nullptr) {
+    config_.trace->emit(util::JsonObject{}
+                            .add("event", "coarse_search")
+                            .add("seed_template", seed.name())
+                            .add("merged_templates", merged_names.size())
+                            .add("top_score", ranked.front().score));
+  }
 
   const coverage::SimStats before_total = before.total();
   if (config_.expand_target_by_correlation) {
@@ -91,13 +126,23 @@ FlowResult CdgRunner::run_from_template(
     result.before.stats = coverage::SimStats(duv_->space().size());
   }
 
+  const auto flow_start = Clock::now();
+
   // --- Skeletonize ------------------------------------------------------
   const Skeletonizer skeletonizer(config_.skeletonizer);
   result.skeleton = skeletonizer.skeletonize(seed_template);
   util::log_info("skeletonized '", seed_template.name(), "' -> ",
                  result.skeleton.mark_count(), " marks");
+  if (config_.trace != nullptr) {
+    config_.trace->emit(util::JsonObject{}
+                            .add("event", "flow_start")
+                            .add("seed_template", seed_template.name())
+                            .add("skeleton_marks", result.skeleton.mark_count())
+                            .add("before_sims", result.before.sims));
+  }
 
   // --- Random sampling phase (§IV-D) -------------------------------------
+  const auto sampling_start = Clock::now();
   RandomSampleOptions sample_options;
   sample_options.templates = config_.sample_templates;
   sample_options.sims_per_template = config_.sample_sims;
@@ -106,11 +151,17 @@ FlowResult CdgRunner::run_from_template(
       random_sample(*duv_, *farm_, result.skeleton, target, sample_options);
   result.sampling_phase = {"Sampling phase", result.sampling.simulations,
                            result.sampling.combined};
+  result.sampling_phase.wall_ms = ms_since(sampling_start);
   util::log_info("sampling phase: best target value ",
                  result.sampling.best().target_value, " over ",
                  result.sampling.simulations, " sims");
+  trace_phase(config_.trace, "sampling", result.sampling_phase,
+              util::JsonObject{}
+                  .add("templates", result.sampling.samples.size())
+                  .add("best_value", result.sampling.best().target_value));
 
   // --- Optimization phase (§IV-E) ----------------------------------------
+  const auto optimization_start = Clock::now();
   CdgObjective objective(*duv_, *farm_, result.skeleton, target,
                          config_.opt_sims_per_point);
   opt::ImplicitFilteringOptions if_options;
@@ -170,8 +221,15 @@ FlowResult CdgRunner::run_from_template(
                      " below threshold ", config_.refine_threshold);
     }
   }
+  result.optimization_phase.wall_ms = ms_since(optimization_start);
+  trace_phase(config_.trace, "optimization", result.optimization_phase,
+              util::JsonObject{}
+                  .add("iterations", result.optimization.trace.size())
+                  .add("best_value", result.optimization.best_value)
+                  .add("refined", result.refinement.has_value()));
 
   // --- Harvest (§IV-F) -----------------------------------------------------
+  const auto harvest_start = Clock::now();
   result.best_template = result.skeleton.instantiate(
       seed_template.name() + "_cdg_best", best_point);
   result.harvest_phase.name = "Running best test";
@@ -185,6 +243,27 @@ FlowResult CdgRunner::run_from_template(
                    config_.harvest_sims, " sims");
   } else {
     result.harvest_phase.stats = coverage::SimStats(duv_->space().size());
+  }
+  result.harvest_phase.wall_ms = ms_since(harvest_start);
+  trace_phase(
+      config_.trace, "harvest", result.harvest_phase,
+      util::JsonObject{}.add("real_value",
+                             result.harvest_phase.stats.sims() > 0
+                                 ? target.real_value(result.harvest_phase.stats)
+                                 : 0.0));
+
+  if (config_.trace != nullptr) {
+    const batch::TelemetrySnapshot farm_stats = farm_->telemetry();
+    config_.trace->emit(
+        util::JsonObject{}
+            .add("event", "flow_end")
+            .add("flow_sims", result.flow_sims())
+            .add("wall_ms", ms_since(flow_start))
+            .add("farm_total_sims", farm_stats.simulations)
+            .add("farm_chunks", farm_stats.chunks)
+            .add("farm_steals", farm_stats.steals)
+            .add("farm_max_queue_depth", farm_stats.max_queue_depth)
+            .add("farm_mean_chunk_us", farm_stats.mean_chunk_us()));
   }
   return result;
 }

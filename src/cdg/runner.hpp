@@ -79,6 +79,12 @@ struct FlowConfig {
   std::size_t harvest_sims = 10000;
 
   std::uint64_t seed = 2021;
+
+  /// Optional JSONL run-trace sink (not owned; must outlive the run).
+  /// When set, the runner emits flow_start / phase / flow_end events
+  /// carrying each phase's simulation budget and wall latency — see
+  /// DESIGN.md §"Batch environment v2" for the field schema.
+  batch::TraceSink* trace = nullptr;
 };
 
 /// Hit statistics of one flow phase, as shown in the paper's result
@@ -87,6 +93,9 @@ struct PhaseOutcome {
   std::string name;
   std::size_t sims = 0;
   coverage::SimStats stats;
+  /// Wall time the flow spent in this phase (0 for `before`, whose
+  /// simulations predate the flow).
+  double wall_ms = 0.0;
 };
 
 struct FlowResult {

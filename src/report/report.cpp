@@ -172,7 +172,8 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
-                         const cdg::FlowResult& flow) {
+                         const cdg::FlowResult& flow,
+                         const batch::TelemetrySnapshot* farm) {
   if (path.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
@@ -204,11 +205,80 @@ void write_flow_markdown(const std::filesystem::path& path,
        << (record.moved ? "yes" : "no") << " |\n";
   }
 
+  os << "\n## Run telemetry\n\n";
+  telemetry_table(flow).render_markdown(os);
+  if (farm != nullptr) {
+    os << '\n';
+    render_farm_telemetry(os, *farm);
+  }
+
   os << "\n## Harvested test-template\n\n```\n"
      << tgen::to_text(flow.best_template) << "```\n";
   os.flush();
   if (!os) {
     throw util::Error("failed writing '" + path.string() + "'");
+  }
+}
+
+util::Table telemetry_table(const cdg::FlowResult& flow) {
+  util::Table table({"Phase", "sims", "share", "wall ms", "sims/s"});
+  const std::array<const cdg::PhaseOutcome*, 3> flow_phases{
+      &flow.sampling_phase, &flow.optimization_phase, &flow.harvest_phase};
+  const std::size_t total = flow.flow_sims();
+  double total_ms = 0.0;
+  const auto fmt = [](double v, const char* spec) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, spec, v);
+    return std::string(buf);
+  };
+  for (const auto* phase : flow_phases) {
+    total_ms += phase->wall_ms;
+    const double share =
+        total == 0 ? 0.0
+                   : static_cast<double>(phase->sims) /
+                         static_cast<double>(total);
+    const double rate =
+        phase->wall_ms > 0.0
+            ? static_cast<double>(phase->sims) / (phase->wall_ms / 1000.0)
+            : 0.0;
+    table.add_row(std::vector<Cell>{{phase->name, CellColor::kBold},
+                                    {util::format_count(phase->sims)},
+                                    {fmt(100.0 * share, "%.1f%%")},
+                                    {fmt(phase->wall_ms, "%.2f")},
+                                    {util::format_count(
+                                        static_cast<std::size_t>(rate))}});
+  }
+  const double total_rate =
+      total_ms > 0.0 ? static_cast<double>(total) / (total_ms / 1000.0) : 0.0;
+  table.add_row(std::vector<Cell>{
+      {"Flow total", CellColor::kBold},
+      {util::format_count(total)},
+      {"100.0%"},
+      {fmt(total_ms, "%.2f")},
+      {util::format_count(static_cast<std::size_t>(total_rate))}});
+  return table;
+}
+
+void render_farm_telemetry(std::ostream& os,
+                           const batch::TelemetrySnapshot& farm) {
+  os << "Farm counters: " << util::format_count(farm.simulations)
+     << " sims in " << util::format_count(farm.chunks) << " chunks ("
+     << util::format_count(farm.enqueued) << " enqueued, "
+     << util::format_count(farm.steals) << " stolen, peak queue depth "
+     << farm.max_queue_depth << ", " << farm.exceptions << " exceptions, "
+     << farm.runs << " runs).\n\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", farm.mean_chunk_us());
+  os << "Mean chunk wall time: " << buf << " us.\n";
+  bool any = false;
+  for (const std::size_t count : farm.chunk_latency) any = any || count != 0;
+  if (!any) return;
+  os << "\nChunk latency histogram (log2 us buckets):\n\n"
+     << "| bucket | chunks |\n| --- | ---: |\n";
+  for (std::size_t i = 0; i < farm.chunk_latency.size(); ++i) {
+    if (farm.chunk_latency[i] == 0) continue;
+    os << "| [" << (1ull << i) << ", " << (1ull << (i + 1)) << ") us | "
+       << farm.chunk_latency[i] << " |\n";
   }
 }
 

@@ -59,13 +59,24 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
 /// One-paragraph phase header ("Sampling phase (200 tests x 100 sims)").
 [[nodiscard]] std::string phase_caption(const cdg::FlowResult& flow);
 
+/// Builds the run-telemetry table: per flow phase, its simulation
+/// budget, share of the flow's total, wall time, and throughput.
+[[nodiscard]] util::Table telemetry_table(const cdg::FlowResult& flow);
+
+/// Renders a farm telemetry snapshot (counters + chunk-latency
+/// histogram) as a markdown fragment.
+void render_farm_telemetry(std::ostream& os,
+                           const batch::TelemetrySnapshot& farm);
+
 /// Writes a complete markdown report of a flow run — caption, the
 /// Fig. 3/4-style phase table, the status summary, the optimization
-/// trace as a markdown table, and the harvested template — to `path`.
-/// Throws util::Error on IO failure.
+/// trace as a markdown table, run telemetry, and the harvested
+/// template — to `path`. When `farm` is non-null its counters are
+/// appended to the telemetry section. Throws util::Error on IO failure.
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
-                         const cdg::FlowResult& flow);
+                         const cdg::FlowResult& flow,
+                         const batch::TelemetrySnapshot* farm = nullptr);
 
 }  // namespace ascdg::report

@@ -1,0 +1,129 @@
+#include "util/jsonl.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+
+namespace ascdg::util {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::append_key(std::string_view key) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::add(std::string_view key, std::string_view value) {
+  append_key(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, bool value) {
+  append_key(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::add(std::string_view key, double value) {
+  append_key(key);
+  if (!std::isfinite(value)) {
+    body_ += "null";
+    return *this;
+  }
+  std::array<char, 32> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  if (ec != std::errc{}) {
+    body_ += "null";  // cannot happen for finite doubles with a 32B buffer
+    return *this;
+  }
+  body_.append(buf.data(), end);
+  return *this;
+}
+
+JsonObject& JsonObject::add_int(std::string_view key, std::int64_t value) {
+  append_key(key);
+  std::array<char, 24> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  body_.append(buf.data(), end);
+  (void)ec;
+  return *this;
+}
+
+JsonObject& JsonObject::add_uint(std::string_view key, std::uint64_t value) {
+  append_key(key);
+  std::array<char, 24> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  body_.append(buf.data(), end);
+  (void)ec;
+  return *this;
+}
+
+JsonObject& JsonObject::add_raw(std::string_view key, std::string_view json) {
+  append_key(key);
+  body_ += json;
+  return *this;
+}
+
+JsonObject& JsonObject::merge(const JsonObject& other) {
+  if (other.body_.empty()) return *this;
+  if (!body_.empty()) body_ += ',';
+  body_ += other.body_;
+  return *this;
+}
+
+std::string JsonObject::str() const {
+  std::string out;
+  out.reserve(body_.size() + 2);
+  out += '{';
+  out += body_;
+  out += '}';
+  return out;
+}
+
+}  // namespace ascdg::util

@@ -1,29 +1,113 @@
 // Tests for the batch simulation farm: determinism across worker
-// counts, job batching, accounting, and edge cases (zero counts).
+// counts, job batching, accounting, edge cases (zero counts), and the
+// v2 guarantees — exception propagation, drain-on-destruct, work
+// stealing telemetry.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "batch/sim_farm.hpp"
 #include "duv/io_unit.hpp"
 #include "duv/l3_cache.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace ascdg::batch {
 namespace {
 
+/// Forwards to an inner unit but throws after `fail_after` simulations —
+/// models a crashing RTL simulator inside the farm.
+class ThrowingDuv final : public duv::Duv {
+ public:
+  explicit ThrowingDuv(const duv::Duv& inner, std::size_t fail_after = 0)
+      : inner_(&inner), fail_after_(fail_after) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "throwing";
+  }
+  [[nodiscard]] const coverage::CoverageSpace& space() const noexcept override {
+    return inner_->space();
+  }
+  [[nodiscard]] const tgen::TestTemplate& defaults() const noexcept override {
+    return inner_->defaults();
+  }
+  [[nodiscard]] coverage::CoverageVector simulate(
+      const tgen::TestTemplate& tmpl, std::uint64_t seed) const override {
+    if (calls_.fetch_add(1, std::memory_order_relaxed) >= fail_after_) {
+      throw util::Error("injected DUV failure");
+    }
+    return inner_->simulate(tmpl, seed);
+  }
+  [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override {
+    return inner_->suite();
+  }
+
+ private:
+  const duv::Duv* inner_;
+  std::size_t fail_after_;
+  mutable std::atomic<std::size_t> calls_{0};
+};
+
+/// Forwards to an inner unit with an artificial per-simulation delay,
+/// so tests can observe the farm with work still queued.
+class SlowDuv final : public duv::Duv {
+ public:
+  explicit SlowDuv(const duv::Duv& inner) : inner_(&inner) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "slow";
+  }
+  [[nodiscard]] const coverage::CoverageSpace& space() const noexcept override {
+    return inner_->space();
+  }
+  [[nodiscard]] const tgen::TestTemplate& defaults() const noexcept override {
+    return inner_->defaults();
+  }
+  [[nodiscard]] coverage::CoverageVector simulate(
+      const tgen::TestTemplate& tmpl, std::uint64_t seed) const override {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    return inner_->simulate(tmpl, seed);
+  }
+  [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override {
+    return inner_->suite();
+  }
+
+ private:
+  const duv::Duv* inner_;
+};
+
 TEST(SimFarm, ResultIndependentOfWorkerCount) {
   const duv::IoUnit io;
   const auto& tmpl = io.defaults();
   coverage::SimStats reference;
-  for (const std::size_t workers : {1u, 2u, 4u}) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
     SimFarm farm(workers);
     const auto stats = farm.run(io, tmpl, 500, 42);
     if (workers == 1) {
       reference = stats;
     } else {
       EXPECT_EQ(stats, reference) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(SimFarm, RunAllIndependentOfWorkerCount) {
+  const duv::L3Cache l3;
+  const auto suite = l3.suite();
+  ASSERT_GE(suite.size(), 2u);
+  std::vector<SimFarm::Job> jobs{{&suite[0], 150, 7}, {&suite[1], 90, 8}};
+  std::vector<coverage::SimStats> reference;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    SimFarm farm(workers);
+    auto batch = farm.run_all(l3, jobs);
+    if (workers == 1) {
+      reference = std::move(batch);
+    } else {
+      EXPECT_EQ(batch, reference) << "workers=" << workers;
     }
   }
 }
@@ -159,6 +243,140 @@ TEST(SimFarm, ConcurrentCallersShareThePool) {
   };
   check(a, 21);
   check(b, 22);
+}
+
+// ------------------------------------------------------- v2 guarantees --
+
+TEST(SimFarmV2, ThrowingSimulationPropagatesInsteadOfHanging) {
+  const duv::IoUnit io;
+  const ThrowingDuv bad(io, /*fail_after=*/0);
+  SimFarm farm(2);
+  EXPECT_THROW((void)farm.run(bad, io.defaults(), 200, 1), util::Error);
+}
+
+TEST(SimFarmV2, ThrowMidRunStillPropagates) {
+  const duv::IoUnit io;
+  // Several chunks complete before the failure hits.
+  const ThrowingDuv bad(io, /*fail_after=*/150);
+  SimFarm farm(2);
+  EXPECT_THROW((void)farm.run(bad, io.defaults(), 512, 1), util::Error);
+  EXPECT_GE(farm.telemetry().exceptions, 1u);
+}
+
+TEST(SimFarmV2, ExceptionMessageSurvives) {
+  const duv::IoUnit io;
+  const ThrowingDuv bad(io);
+  SimFarm farm(2);
+  try {
+    (void)farm.run(bad, io.defaults(), 64, 1);
+    FAIL() << "run() must rethrow the DUV exception";
+  } catch (const util::Error& e) {
+    EXPECT_STREQ(e.what(), "injected DUV failure");
+  }
+}
+
+TEST(SimFarmV2, FarmUsableAfterException) {
+  const duv::IoUnit io;
+  const ThrowingDuv bad(io);
+  SimFarm farm(2);
+  EXPECT_THROW((void)farm.run(bad, io.defaults(), 128, 1), util::Error);
+  const auto stats = farm.run(io, io.defaults(), 100, 5);
+  EXPECT_EQ(stats.sims(), 100u);
+}
+
+TEST(SimFarmV2, RunAllWithZeroCountJobsMixedIn) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  SimFarm farm(2);
+  std::vector<SimFarm::Job> jobs{
+      {&tmpl, 100, 1}, {&tmpl, 0, 2}, {&tmpl, 70, 3}, {&tmpl, 0, 4}};
+  const auto results = farm.run_all(io, jobs);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].sims(), 100u);
+  EXPECT_EQ(results[1].sims(), 0u);
+  EXPECT_EQ(results[2].sims(), 70u);
+  EXPECT_EQ(results[3].sims(), 0u);
+  EXPECT_EQ(results[0], farm.run(io, tmpl, 100, 1));
+  EXPECT_EQ(results[2], farm.run(io, tmpl, 70, 3));
+}
+
+TEST(SimFarmV2, JobsFarExceedWorkers) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  SimFarm farm(2);
+  std::vector<SimFarm::Job> jobs(300, SimFarm::Job{&tmpl, 3, 0});
+  for (std::size_t j = 0; j < jobs.size(); ++j) jobs[j].seed_root = j;
+  const auto results = farm.run_all(io, jobs);
+  ASSERT_EQ(results.size(), 300u);
+  for (const auto& stats : results) EXPECT_EQ(stats.sims(), 3u);
+  // Spot-check against serial references.
+  for (const std::size_t j : {0u, 150u, 299u}) {
+    coverage::SimStats direct(io.space().size());
+    const util::SeedStream seeds(j);
+    for (std::size_t i = 0; i < 3; ++i) {
+      direct.record(io.simulate(tmpl, seeds.at(i)));
+    }
+    EXPECT_EQ(results[j], direct) << "job " << j;
+  }
+}
+
+TEST(SimFarmV2, TelemetryCountersAreConsistent) {
+  const duv::IoUnit io;
+  SimFarm farm(2);
+  (void)farm.run(io, io.defaults(), 130, 5);  // 3 chunks (64+64+2)
+  const auto& tmpl = io.defaults();
+  std::vector<SimFarm::Job> jobs{{&tmpl, 64, 1}, {&tmpl, 64, 2}};
+  (void)farm.run_all(io, jobs);  // 2 chunks
+
+  const TelemetrySnapshot snap = farm.telemetry();
+  EXPECT_EQ(snap.simulations, 258u);
+  EXPECT_EQ(snap.simulations, farm.total_simulations());
+  EXPECT_EQ(snap.chunks, 5u);
+  EXPECT_EQ(snap.enqueued, 5u);
+  EXPECT_EQ(snap.runs, 2u);
+  EXPECT_EQ(snap.exceptions, 0u);
+  EXPECT_GE(snap.max_queue_depth, 1u);
+  EXPECT_LE(snap.steals, snap.chunks);
+  EXPECT_GT(snap.busy_ns, 0u);
+  std::size_t histogram_total = 0;
+  for (const std::size_t count : snap.chunk_latency) histogram_total += count;
+  EXPECT_EQ(histogram_total, snap.chunks);
+  EXPECT_GT(snap.mean_chunk_us(), 0.0);
+}
+
+TEST(SimFarmV2, DestructorDrainsInFlightRun) {
+  const duv::IoUnit io;
+  const SlowDuv slow(io);
+  auto farm = std::make_unique<SimFarm>(2);
+  // The helper thread must not touch the unique_ptr itself — reset()
+  // below writes it concurrently; only the pointee is synchronized.
+  SimFarm* const raw = farm.get();
+  coverage::SimStats stats;
+  std::thread caller(
+      [&stats, raw, &slow, &io] { stats = raw->run(slow, io.defaults(), 256, 3); });
+  // Wait until all 4 chunks are queued, then tear the farm down while
+  // they are still in flight: v2 drains instead of dropping them.
+  while (raw->telemetry().enqueued < 4) std::this_thread::yield();
+  farm.reset();
+  caller.join();
+  EXPECT_EQ(stats.sims(), 256u);
+}
+
+TEST(SimFarmV2, ExceptionInOneJobOfManyRetiresTheWholeCall) {
+  const duv::IoUnit io;
+  const ThrowingDuv bad(io, /*fail_after=*/40);
+  const auto& tmpl = io.defaults();
+  SimFarm farm(4);
+  std::vector<SimFarm::Job> jobs(10, SimFarm::Job{&tmpl, 64, 0});
+  for (std::size_t j = 0; j < jobs.size(); ++j) jobs[j].seed_root = j;
+  EXPECT_THROW((void)farm.run_all(bad, jobs), util::Error);
+  // Every chunk retired (nothing left queued): an immediate clean run
+  // works and the counters balance.
+  const auto stats = farm.run(io, tmpl, 64, 9);
+  EXPECT_EQ(stats.sims(), 64u);
+  const TelemetrySnapshot snap = farm.telemetry();
+  EXPECT_EQ(snap.enqueued, 11u);
+  EXPECT_GE(snap.exceptions, 1u);
 }
 
 }  // namespace

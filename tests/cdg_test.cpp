@@ -4,6 +4,8 @@
 // failure handling.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "batch/sim_farm.hpp"
@@ -355,6 +357,80 @@ TEST(Runner, RunFromTemplateSmallBudget) {
   // The harvested template instantiates the skeleton.
   EXPECT_FALSE(result.best_template.empty());
   EXPECT_LE(result.optimization.trace.size(), 3u);
+}
+
+namespace {
+/// Pulls the unsigned integer that follows `"key":` in a JSONL line;
+/// returns false when the key is absent.
+bool extract_uint_field(const std::string& line, const std::string& key,
+                        std::size_t* out) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::stoull(line.substr(pos + needle.size()));
+  return true;
+}
+}  // namespace
+
+TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
+  const duv::IoUnit io;
+  batch::SimFarm farm(2);
+  std::ostringstream trace;
+  batch::TraceSink sink(trace);
+
+  FlowConfig config;
+  config.sample_templates = 10;
+  config.sample_sims = 20;
+  config.opt_directions = 4;
+  config.opt_sims_per_point = 20;
+  config.opt_max_iterations = 2;
+  config.harvest_sims = 100;
+  config.seed = 11;
+  config.trace = &sink;
+  CdgRunner runner(io, farm, config);
+
+  coverage::SimStats none(io.space().size());
+  const auto target = neighbors::family_target(io.space(), "crc", none);
+  const auto result = runner.run_from_template(target, io.suite().front());
+
+  // One line per event: flow_start, three phases, flow_end.
+  std::istringstream lines(trace.str());
+  std::string line;
+  std::size_t phase_lines = 0;
+  std::size_t sims_total = 0;
+  std::size_t farm_total_in_trace = 0;
+  std::size_t flow_end_lines = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    if (line.find("\"event\":\"phase\"") != std::string::npos) {
+      ++phase_lines;
+      std::size_t sims = 0;
+      ASSERT_TRUE(extract_uint_field(line, "sims", &sims)) << line;
+      sims_total += sims;
+      EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos) << line;
+    }
+    if (line.find("\"event\":\"flow_end\"") != std::string::npos) {
+      ++flow_end_lines;
+      ASSERT_TRUE(
+          extract_uint_field(line, "farm_total_sims", &farm_total_in_trace))
+          << line;
+    }
+  }
+  EXPECT_EQ(phase_lines, 3u);
+  EXPECT_EQ(flow_end_lines, 1u);
+  EXPECT_EQ(sink.lines(), 5u);
+
+  // The paper's cost metric must reconcile: per-phase sims sum to the
+  // farm's books (the farm was fresh, so flow sims are all its sims).
+  EXPECT_EQ(sims_total, result.flow_sims());
+  EXPECT_EQ(sims_total, farm.total_simulations());
+  EXPECT_EQ(farm_total_in_trace, farm.total_simulations());
+
+  // Phase wall times were measured.
+  EXPECT_GT(result.sampling_phase.wall_ms, 0.0);
+  EXPECT_GT(result.optimization_phase.wall_ms, 0.0);
+  EXPECT_GT(result.harvest_phase.wall_ms, 0.0);
 }
 
 TEST(Runner, FullRunUsesCoarseSearch) {

@@ -187,5 +187,53 @@ TEST(Markdown, WriteFlowReport) {
   std::filesystem::remove_all(path.parent_path(), ec);
 }
 
+TEST(Telemetry, TableCoversFlowPhasesAndTotal) {
+  auto flow = fake_flow();
+  flow.sampling_phase.wall_ms = 100.0;
+  flow.optimization_phase.wall_ms = 300.0;
+  flow.harvest_phase.wall_ms = 100.0;
+  std::ostringstream os;
+  telemetry_table(flow).render_markdown(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("Sampling phase"), std::string::npos);
+  EXPECT_NE(text.find("Optimization phase"), std::string::npos);
+  EXPECT_NE(text.find("Running best test"), std::string::npos);
+  EXPECT_NE(text.find("Flow total"), std::string::npos);
+  // 2,000 of 6,000 flow sims -> 33.3% share; 2,000 sims / 0.1 s.
+  EXPECT_NE(text.find("33.3%"), std::string::npos);
+  EXPECT_NE(text.find("20,000"), std::string::npos);
+}
+
+TEST(Telemetry, MarkdownReportIncludesFarmCounters) {
+  const auto flow = fake_flow();
+  const auto space = three_event_space();
+  const std::vector<EventId> events{EventId{0}, EventId{1}, EventId{2}};
+  batch::TelemetrySnapshot farm;
+  farm.simulations = 6000;
+  farm.chunks = 94;
+  farm.steals = 3;
+  farm.enqueued = 94;
+  farm.max_queue_depth = 10;
+  farm.runs = 3;
+  farm.busy_ns = 94'000'000;  // 1,000 us mean chunk
+  farm.chunk_latency[9] = 94;
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ascdg_report_tele_" + std::to_string(::getpid())) /
+                    "flow.md";
+  write_flow_markdown(path, space, events, flow, &farm);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("## Run telemetry"), std::string::npos);
+  EXPECT_NE(text.find("Farm counters: 6,000 sims in 94 chunks"),
+            std::string::npos);
+  EXPECT_NE(text.find("3 stolen"), std::string::npos);
+  EXPECT_NE(text.find("Mean chunk wall time: 1000.0 us"), std::string::npos);
+  EXPECT_NE(text.find("| [512, 1024) us | 94 |"), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(path.parent_path(), ec);
+}
+
 }  // namespace
 }  // namespace ascdg::report

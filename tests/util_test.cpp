@@ -5,11 +5,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -459,6 +461,67 @@ TEST(Error, ParseErrorCarriesLine) {
   const ParseError err("bad token", 17);
   EXPECT_EQ(err.line(), 17u);
   EXPECT_NE(std::string(err.what()).find("line 17"), std::string::npos);
+}
+
+// -------------------------------------------------------------- jsonl --
+
+TEST(Jsonl, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json_escape("日本"), "日本");  // UTF-8 passes through
+}
+
+TEST(Jsonl, BuildsFlatObject) {
+  JsonObject obj;
+  obj.add("name", "sampling").add("sims", 2000u).add("ok", true);
+  EXPECT_EQ(obj.str(), R"({"name":"sampling","sims":2000,"ok":true})");
+}
+
+TEST(Jsonl, EmptyObject) {
+  const JsonObject obj;
+  EXPECT_TRUE(obj.empty());
+  EXPECT_EQ(obj.str(), "{}");
+}
+
+TEST(Jsonl, SignedAndUnsignedIntegers) {
+  JsonObject obj;
+  obj.add("neg", -42).add("big", std::uint64_t{18446744073709551615ULL});
+  EXPECT_EQ(obj.str(), R"({"neg":-42,"big":18446744073709551615})");
+}
+
+TEST(Jsonl, DoublesRoundTripAndNonFiniteBecomeNull) {
+  JsonObject obj;
+  obj.add("half", 0.5)
+      .add("nan", std::nan(""))
+      .add("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(obj.str(), R"({"half":0.5,"nan":null,"inf":null})");
+}
+
+TEST(Jsonl, MergeAppendsFields) {
+  JsonObject a;
+  a.add("event", "phase");
+  JsonObject b;
+  b.add("sims", 10);
+  a.merge(b);
+  EXPECT_EQ(a.str(), R"({"event":"phase","sims":10})");
+  JsonObject empty;
+  a.merge(empty);
+  EXPECT_EQ(a.str(), R"({"event":"phase","sims":10})");
+}
+
+TEST(Jsonl, RawSplicesVerbatim) {
+  JsonObject obj;
+  obj.add_raw("buckets", "[1,2,3]");
+  EXPECT_EQ(obj.str(), R"({"buckets":[1,2,3]})");
+}
+
+TEST(Jsonl, KeysAreEscapedToo) {
+  JsonObject obj;
+  obj.add("we\"ird", 1);
+  EXPECT_EQ(obj.str(), R"({"we\"ird":1})");
 }
 
 }  // namespace

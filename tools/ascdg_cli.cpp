@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "batch/sim_farm.hpp"
+#include "batch/telemetry.hpp"
 #include "cdg/runner.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/holes.hpp"
@@ -63,6 +64,7 @@ commands:
       [--directions N] [--point-sims N] [--harvest N] [--seed S]
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
       [--save-before FILE.csv] [--before-csv FILE.csv]
+      [--trace FILE.jsonl]
 )";
   return 1;
 }
@@ -380,6 +382,14 @@ int cmd_run(Args& args) {
   config.seed = args.size_value("--seed", 2021);
   config.refine_with_real_target = args.flag("--refine");
 
+  std::unique_ptr<batch::TraceSink> trace;
+  std::string trace_path;
+  if (const auto path = args.value("--trace"); path.has_value()) {
+    trace_path = *path;
+    trace = std::make_unique<batch::TraceSink>(trace_path);
+    config.trace = trace.get();
+  }
+
   batch::SimFarm farm;
   coverage::CoverageRepository repo(unit->space().size());
   if (const auto csv = args.value("--before-csv"); csv.has_value()) {
@@ -430,8 +440,14 @@ int cmd_run(Args& args) {
     std::cerr << "wrote " << *csv << '\n';
   }
   if (const auto md = args.value("--report"); md.has_value()) {
-    report::write_flow_markdown(*md, unit->space(), events, result);
+    const auto farm_stats = farm.telemetry();
+    report::write_flow_markdown(*md, unit->space(), events, result,
+                                &farm_stats);
     std::cerr << "wrote " << *md << '\n';
+  }
+  if (trace != nullptr) {
+    std::cerr << "wrote " << trace->lines() << " trace events to "
+              << trace_path << '\n';
   }
   return 0;
 }
