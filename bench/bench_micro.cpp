@@ -3,11 +3,14 @@
 // sampler draws, TAC queries, coverage accumulation, and farm scaling.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "batch/sim_farm.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/repository.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "duv/ifu.hpp"
 #include "duv/io_unit.hpp"
 #include "duv/l3_cache.hpp"
@@ -159,6 +162,63 @@ void BM_FarmRunAll(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * kJobs * kSimsPerJob));
 }
 BENCHMARK(BM_FarmRunAll)->Arg(2)->Arg(8);
+
+// BM_FarmRunAll with the metrics registry mutators short-circuited, for
+// the instrumentation-overhead comparison (acceptance: enabled regresses
+// < 5% vs this).
+void BM_FarmRunAllMetricsOff(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<batch::SimFarm::Job> jobs(kJobs,
+                                        batch::SimFarm::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kJobs * kSimsPerJob));
+  obs::set_metrics_enabled(true);
+}
+BENCHMARK(BM_FarmRunAllMetricsOff)->Arg(2)->Arg(8);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::registry().counter("bench_counter_total", {{"bench", "micro"}});
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(counter.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  obs::Histogram& hist =
+      obs::registry().histogram("bench_hist_us", {{"bench", "micro"}});
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.observe(v++);
+  }
+  benchmark::DoNotOptimize(hist.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsHistogramObserve);
+
+void BM_TracerSpan(benchmark::State& state) {
+  // /dev/null keeps memory flat however many iterations benchmark picks.
+  obs::Tracer tracer(std::filesystem::path("/dev/null"));
+  for (auto _ : state) {
+    obs::Span span = tracer.span("bench");
+    benchmark::DoNotOptimize(span.id());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerSpan);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <limits>
+#include <string>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -28,6 +29,26 @@ SimFarm::SimFarm(std::size_t num_threads)
                     ? num_threads
                     : std::max<std::size_t>(
                           1, std::thread::hardware_concurrency())) {
+  // Register this farm's labeled series before any worker can touch
+  // them. Instance ids keep concurrent farms' books separate.
+  static std::atomic<std::uint64_t> next_farm_id{0};
+  const std::string id =
+      std::to_string(next_farm_id.fetch_add(1, std::memory_order_relaxed));
+  obs::Registry& reg = obs::registry();
+  metrics_.simulations =
+      &reg.counter("ascdg_farm_simulations_total", {{"farm", id}});
+  metrics_.chunks = &reg.counter("ascdg_farm_chunks_total", {{"farm", id}});
+  metrics_.steals = &reg.counter("ascdg_farm_steals_total", {{"farm", id}});
+  metrics_.enqueued =
+      &reg.counter("ascdg_farm_enqueued_total", {{"farm", id}});
+  metrics_.exceptions =
+      &reg.counter("ascdg_farm_exceptions_total", {{"farm", id}});
+  metrics_.runs = &reg.counter("ascdg_farm_runs_total", {{"farm", id}});
+  metrics_.busy_ns = &reg.counter("ascdg_farm_busy_ns_total", {{"farm", id}});
+  metrics_.queue_depth = &reg.gauge("ascdg_farm_queue_depth", {{"farm", id}});
+  metrics_.chunk_latency_us =
+      &reg.histogram("ascdg_farm_chunk_latency_us", {{"farm", id}});
+
   queues_ = std::make_unique<WorkerQueue[]>(worker_n_);
   workers_.reserve(worker_n_);
   for (std::size_t i = 0; i < worker_n_; ++i) {
@@ -70,7 +91,11 @@ bool SimFarm::take_task(std::size_t index, Task& task) {
       queue.tasks.pop_front();
     }
     tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
-    telemetry_.on_take(/*stolen=*/k != 0);
+    // Gauge decrement happens while still holding the victim deque's
+    // lock, paired with the pre-publication increment in enqueue(): the
+    // depth can never be observed negative.
+    metrics_.queue_depth->sub(1);
+    if (k != 0) metrics_.steals->inc();
     return true;
   }
   return false;
@@ -105,7 +130,8 @@ void SimFarm::enqueue(Task task) {
   // Order matters: pending count and depth telemetry rise before the
   // task becomes stealable, so neither can ever observe a negative.
   tasks_pending_.fetch_add(1, std::memory_order_release);
-  telemetry_.on_enqueue();
+  metrics_.enqueued->inc();
+  metrics_.queue_depth->add(1);
   {
     const std::scoped_lock lock(queues_[q].mutex);
     queues_[q].tasks.push_back(std::move(task));
@@ -163,7 +189,7 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
   }
   if (chunk_count == 0) {
     // All jobs have count 0 (or there are none): nothing to schedule.
-    telemetry_.on_run();
+    metrics_.runs->inc();
     return std::vector<coverage::SimStats>(job_n,
                                            coverage::SimStats(event_count));
   }
@@ -193,14 +219,16 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
               for (std::size_t i = begin; i < end; ++i) {
                 acc.record(duv.simulate(*job.tmpl, seeds.at(i)));
               }
-              const auto wall_ns =
+              const auto wall_ns = static_cast<std::uint64_t>(
                   std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
-                      .count();
-              telemetry_.on_chunk(end - begin,
-                                  static_cast<std::uint64_t>(wall_ns));
+                      .count());
+              metrics_.simulations->add(end - begin);
+              metrics_.chunks->inc();
+              metrics_.busy_ns->add(wall_ns);
+              metrics_.chunk_latency_us->observe(wall_ns / 1000);
             } catch (...) {
-              telemetry_.on_exception();
+              metrics_.exceptions->inc();
               const std::scoped_lock lock(pending->mutex);
               if (pending->error == nullptr) {
                 pending->error = std::current_exception();
@@ -233,7 +261,7 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
       return pending->remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  telemetry_.on_run();
+  metrics_.runs->inc();
 
   if (submit_error != nullptr) std::rethrow_exception(submit_error);
   if (pending->failed.load(std::memory_order_acquire)) {
@@ -257,6 +285,25 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
     }
   }
   return out;
+}
+
+TelemetrySnapshot SimFarm::telemetry() const {
+  TelemetrySnapshot snap;
+  snap.simulations = metrics_.simulations->value();
+  snap.chunks = metrics_.chunks->value();
+  snap.steals = metrics_.steals->value();
+  snap.enqueued = metrics_.enqueued->value();
+  snap.queue_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, metrics_.queue_depth->value()));
+  snap.max_queue_depth = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, metrics_.queue_depth->peak()));
+  snap.exceptions = metrics_.exceptions->value();
+  snap.runs = metrics_.runs->value();
+  snap.busy_ns = metrics_.busy_ns->value();
+  for (std::size_t i = 0; i < TelemetrySnapshot::kLatencyBuckets; ++i) {
+    snap.chunk_latency[i] = metrics_.chunk_latency_us->bucket(i);
+  }
+  return snap;
 }
 
 }  // namespace ascdg::batch

@@ -26,6 +26,7 @@
 // another thread completes rather than deadlocking on dropped tasks.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -37,12 +38,42 @@
 #include <thread>
 #include <vector>
 
-#include "batch/telemetry.hpp"
 #include "coverage/repository.hpp"
 #include "duv/duv.hpp"
+#include "obs/metrics.hpp"
 #include "tgen/test_template.hpp"
 
 namespace ascdg::batch {
+
+/// Point-in-time copy of one farm's run counters, safe to pass around.
+/// Backed by the process metrics registry: every series below also
+/// exists there as `ascdg_farm_*{farm="<id>"}` (see docs/observability.md
+/// for the naming scheme), so Prometheus/JSON exports see the same
+/// numbers this struct reports.
+struct TelemetrySnapshot {
+  /// Log2-of-microseconds histogram buckets: bucket i counts chunks
+  /// whose wall time t satisfies 2^i us <= t < 2^(i+1) us (bucket 0
+  /// also absorbs sub-microsecond chunks, the last bucket the tail).
+  static constexpr std::size_t kLatencyBuckets = obs::Histogram::kBuckets;
+
+  std::size_t simulations = 0;      ///< simulate() calls completed
+  std::size_t chunks = 0;           ///< work chunks executed
+  std::size_t steals = 0;           ///< chunks taken from another worker's deque
+  std::size_t enqueued = 0;         ///< chunks pushed onto worker deques
+  std::size_t queue_depth = 0;      ///< currently queued-but-not-taken chunks
+  std::size_t max_queue_depth = 0;  ///< peak queued-but-not-taken chunks
+  std::size_t exceptions = 0;       ///< chunks that ended in a captured exception
+  std::size_t runs = 0;             ///< run_all() calls completed
+  std::uint64_t busy_ns = 0;        ///< summed wall time inside chunks
+  std::array<std::size_t, kLatencyBuckets> chunk_latency{};
+
+  /// Mean chunk wall time in microseconds (0 when no chunk ran).
+  [[nodiscard]] double mean_chunk_us() const noexcept {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(busy_ns) / 1000.0 /
+                             static_cast<double>(chunks);
+  }
+};
 
 class SimFarm {
  public:
@@ -87,13 +118,12 @@ class SimFarm {
   /// paper's cost metric ("number of simulations"). Chunks aborted by
   /// an exception are not counted.
   [[nodiscard]] std::size_t total_simulations() const noexcept {
-    return telemetry_.simulations();
+    return metrics_.simulations->value();
   }
 
-  /// Point-in-time copy of the farm's run telemetry.
-  [[nodiscard]] TelemetrySnapshot telemetry() const {
-    return telemetry_.snapshot();
-  }
+  /// Point-in-time copy of the farm's run telemetry (read back from the
+  /// registry series this farm owns).
+  [[nodiscard]] TelemetrySnapshot telemetry() const;
 
  private:
   using Task = std::function<void()>;
@@ -131,7 +161,26 @@ class SimFarm {
   std::atomic<std::size_t> next_queue_{0};
   std::atomic<bool> stopping_{false};
 
-  Telemetry telemetry_;
+  /// This farm's registry series, labeled {farm="<instance id>"} so
+  /// concurrent farms in one process keep separate books. Handles are
+  /// stable for the registry's (static) lifetime; mutators are
+  /// wait-free on the worker hot path.
+  struct FarmMetrics {
+    obs::Counter* simulations = nullptr;
+    obs::Counter* chunks = nullptr;
+    obs::Counter* steals = nullptr;
+    obs::Counter* enqueued = nullptr;
+    obs::Counter* exceptions = nullptr;
+    obs::Counter* runs = nullptr;
+    obs::Counter* busy_ns = nullptr;
+    /// Queued-but-not-taken chunks. Incremented in enqueue() before the
+    /// task becomes stealable and decremented inside the owning deque's
+    /// lock in take_task(), so it can never dip negative and its peak
+    /// watermark is exact (the old ad-hoc gauge raced enqueue/steal).
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* chunk_latency_us = nullptr;
+  };
+  FarmMetrics metrics_;
 };
 
 }  // namespace ascdg::batch

@@ -1,8 +1,11 @@
 #include "cdg/runner.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
@@ -21,7 +24,7 @@ double ms_since(Clock::time_point start) {
 
 /// Emits one "phase" trace event: the phase's simulation budget and
 /// latency, plus any caller-supplied detail fields.
-void trace_phase(batch::TraceSink* sink, std::string_view key,
+void trace_phase(obs::Tracer* sink, std::string_view key,
                  const PhaseOutcome& phase, const util::JsonObject& details) {
   if (sink == nullptr) return;
   util::JsonObject event;
@@ -32,6 +35,31 @@ void trace_phase(batch::TraceSink* sink, std::string_view key,
       .add("wall_ms", phase.wall_ms)
       .merge(details);
   sink->emit(event);
+}
+
+/// Per-target-event closure telemetry: the first flow phase whose
+/// cumulative coverage hit each real target event.
+std::vector<FirstHit> compute_first_hits(
+    const neighbors::ApproximatedTarget& target, const FlowResult& result) {
+  std::vector<FirstHit> out;
+  out.reserve(target.targets().size());
+  const std::array<std::pair<const char*, const coverage::SimStats*>, 4>
+      phases{{{"before", &result.before.stats},
+              {"sampling", &result.sampling_phase.stats},
+              {"optimization", &result.optimization_phase.stats},
+              {"harvest", &result.harvest_phase.stats}}};
+  for (const auto event : target.targets()) {
+    const char* first = "never";
+    for (const auto& [name, stats] : phases) {
+      if (stats->sims() != 0 && event.value < stats->event_count() &&
+          stats->hits(event) > 0) {
+        first = name;
+        break;
+      }
+    }
+    out.push_back({event, first});
+  }
+  return out;
 }
 
 }  // namespace
@@ -91,11 +119,17 @@ FlowResult CdgRunner::run(const neighbors::ApproximatedTarget& target,
   util::log_info("coarse search selected template(s) '", seed.name(),
                  "' (top score ", ranked.front().score, ")");
   if (config_.trace != nullptr) {
+    // best-k margin: how far ahead of the k-th ranked template the
+    // winner is — a small margin means the coarse search was ambiguous.
     config_.trace->emit(util::JsonObject{}
                             .add("event", "coarse_search")
                             .add("seed_template", seed.name())
                             .add("merged_templates", merged_names.size())
-                            .add("top_score", ranked.front().score));
+                            .add("templates_ranked", ranked.size())
+                            .add("top_score", ranked.front().score)
+                            .add("kth_score", ranked.back().score)
+                            .add("margin",
+                                 ranked.front().score - ranked.back().score));
   }
 
   const coverage::SimStats before_total = before.total();
@@ -127,10 +161,15 @@ FlowResult CdgRunner::run_from_template(
   }
 
   const auto flow_start = Clock::now();
+  obs::Span flow_span = obs::make_span(config_.trace, "flow");
+  flow_span.fields().add("seed_template", seed_template.name());
 
   // --- Skeletonize ------------------------------------------------------
+  obs::Span skel_span = obs::make_span(config_.trace, "skeletonize");
   const Skeletonizer skeletonizer(config_.skeletonizer);
   result.skeleton = skeletonizer.skeletonize(seed_template);
+  skel_span.fields().add("marks", result.skeleton.mark_count());
+  skel_span.end();
   util::log_info("skeletonized '", seed_template.name(), "' -> ",
                  result.skeleton.mark_count(), " marks");
   if (config_.trace != nullptr) {
@@ -143,6 +182,7 @@ FlowResult CdgRunner::run_from_template(
 
   // --- Random sampling phase (§IV-D) -------------------------------------
   const auto sampling_start = Clock::now();
+  obs::Span sampling_span = obs::make_span(config_.trace, "sampling");
   RandomSampleOptions sample_options;
   sample_options.templates = config_.sample_templates;
   sample_options.sims_per_template = config_.sample_sims;
@@ -152,6 +192,10 @@ FlowResult CdgRunner::run_from_template(
   result.sampling_phase = {"Sampling phase", result.sampling.simulations,
                            result.sampling.combined};
   result.sampling_phase.wall_ms = ms_since(sampling_start);
+  sampling_span.fields()
+      .add("sims", result.sampling_phase.sims)
+      .add("best_value", result.sampling.best().target_value);
+  sampling_span.end();
   util::log_info("sampling phase: best target value ",
                  result.sampling.best().target_value, " over ",
                  result.sampling.simulations, " sims");
@@ -162,6 +206,7 @@ FlowResult CdgRunner::run_from_template(
 
   // --- Optimization phase (§IV-E) ----------------------------------------
   const auto optimization_start = Clock::now();
+  obs::Span opt_span = obs::make_span(config_.trace, "optimization");
   CdgObjective objective(*duv_, *farm_, result.skeleton, target,
                          config_.opt_sims_per_point);
   opt::ImplicitFilteringOptions if_options;
@@ -174,6 +219,8 @@ FlowResult CdgRunner::run_from_template(
   if_options.halve_patience = config_.opt_halve_patience;
   if_options.target_value = config_.opt_target_value;
   if_options.seed = config_.seed ^ 0x0B71417EULL;
+  if_options.trace = config_.trace;
+  if_options.trace_label = "optimization";
   result.optimization = opt::implicit_filtering(
       objective, result.sampling.best().point, if_options);
   result.optimization_phase = {"Optimization phase", objective.simulations(),
@@ -206,6 +253,7 @@ FlowResult CdgRunner::run_from_template(
                                     real_target, config_.opt_sims_per_point);
       if_options.max_iterations = config_.refine_max_iterations;
       if_options.seed = config_.seed ^ 0x5EF15EEDULL;
+      if_options.trace_label = "refinement";
       result.refinement =
           opt::implicit_filtering(refine_objective, best_point, if_options);
       result.optimization_phase.sims += refine_objective.simulations();
@@ -222,6 +270,11 @@ FlowResult CdgRunner::run_from_template(
     }
   }
   result.optimization_phase.wall_ms = ms_since(optimization_start);
+  opt_span.fields()
+      .add("sims", result.optimization_phase.sims)
+      .add("iterations", result.optimization.trace.size())
+      .add("best_value", result.optimization.best_value);
+  opt_span.end();
   trace_phase(config_.trace, "optimization", result.optimization_phase,
               util::JsonObject{}
                   .add("iterations", result.optimization.trace.size())
@@ -230,6 +283,7 @@ FlowResult CdgRunner::run_from_template(
 
   // --- Harvest (§IV-F) -----------------------------------------------------
   const auto harvest_start = Clock::now();
+  obs::Span harvest_span = obs::make_span(config_.trace, "harvest");
   result.best_template = result.skeleton.instantiate(
       seed_template.name() + "_cdg_best", best_point);
   result.harvest_phase.name = "Running best test";
@@ -245,12 +299,40 @@ FlowResult CdgRunner::run_from_template(
     result.harvest_phase.stats = coverage::SimStats(duv_->space().size());
   }
   result.harvest_phase.wall_ms = ms_since(harvest_start);
+  harvest_span.fields().add("sims", result.harvest_phase.sims);
+  harvest_span.end();
   trace_phase(
       config_.trace, "harvest", result.harvest_phase,
       util::JsonObject{}.add("real_value",
                              result.harvest_phase.stats.sims() > 0
                                  ? target.real_value(result.harvest_phase.stats)
                                  : 0.0));
+
+  // --- Per-event closure telemetry -----------------------------------------
+  result.first_hits = compute_first_hits(target, result);
+  std::size_t events_hit = 0;
+  for (const auto& hit : result.first_hits) {
+    if (hit.phase != "never") ++events_hit;
+    if (config_.trace != nullptr) {
+      config_.trace->emit(util::JsonObject{}
+                              .add("event", "first_hit")
+                              .add("event_id", hit.event.value)
+                              .add("phase", hit.phase));
+    }
+  }
+  if (!result.first_hits.empty()) {
+    obs::Registry& reg = obs::registry();
+    reg.gauge("ascdg_flow_target_events_hit").set(
+        static_cast<std::int64_t>(events_hit));
+    reg.gauge("ascdg_flow_target_events_remaining")
+        .set(static_cast<std::int64_t>(result.first_hits.size() - events_hit));
+  }
+
+  flow_span.fields()
+      .add("flow_sims", result.flow_sims())
+      .add("target_events", result.first_hits.size())
+      .add("target_events_hit", events_hit);
+  flow_span.end();
 
   if (config_.trace != nullptr) {
     const batch::TelemetrySnapshot farm_stats = farm_->telemetry();
@@ -259,6 +341,8 @@ FlowResult CdgRunner::run_from_template(
             .add("event", "flow_end")
             .add("flow_sims", result.flow_sims())
             .add("wall_ms", ms_since(flow_start))
+            .add("target_events", result.first_hits.size())
+            .add("target_events_hit", events_hit)
             .add("farm_total_sims", farm_stats.simulations)
             .add("farm_chunks", farm_stats.chunks)
             .add("farm_steals", farm_stats.steals)

@@ -19,6 +19,7 @@
 #include "cdg/skeletonizer.hpp"
 #include "coverage/repository.hpp"
 #include "neighbors/neighbors.hpp"
+#include "obs/trace.hpp"
 #include "opt/implicit_filtering.hpp"
 #include "tac/tac.hpp"
 
@@ -82,9 +83,12 @@ struct FlowConfig {
 
   /// Optional JSONL run-trace sink (not owned; must outlive the run).
   /// When set, the runner emits flow_start / phase / flow_end events
-  /// carrying each phase's simulation budget and wall latency — see
-  /// DESIGN.md §"Batch environment v2" for the field schema.
-  batch::TraceSink* trace = nullptr;
+  /// carrying each phase's simulation budget and wall latency, wraps
+  /// the flow and each phase in obs spans (parent/child ids tie the
+  /// events together), and streams the optimizer's per-iteration
+  /// "opt_iter" convergence series — see docs/observability.md for the
+  /// field schema.
+  obs::Tracer* trace = nullptr;
 };
 
 /// Hit statistics of one flow phase, as shown in the paper's result
@@ -96,6 +100,14 @@ struct PhaseOutcome {
   /// Wall time the flow spent in this phase (0 for `before`, whose
   /// simulations predate the flow).
   double wall_ms = 0.0;
+};
+
+/// When a target event was first hit during the flow — the per-event
+/// closure telemetry the NOVA-style coverage tracking asks for.
+struct FirstHit {
+  coverage::EventId event;
+  /// "before", "sampling", "optimization", "harvest", or "never".
+  std::string phase;
 };
 
 struct FlowResult {
@@ -112,6 +124,8 @@ struct FlowResult {
   PhaseOutcome sampling_phase;
   PhaseOutcome optimization_phase;
   PhaseOutcome harvest_phase;
+  /// One entry per real target event: the first flow phase that hit it.
+  std::vector<FirstHit> first_hits;
 
   /// Simulations spent by the flow itself (excludes `before`).
   [[nodiscard]] std::size_t flow_sims() const noexcept {

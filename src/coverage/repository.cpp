@@ -1,8 +1,23 @@
 #include "coverage/repository.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace ascdg::coverage {
+
+namespace {
+
+/// Process-wide count of record() folds across every repository. A
+/// per-instance series would bloat the registry (tests and flows create
+/// many short-lived repositories), so per-event closure data stays on
+/// the repository itself — see first_hit_record().
+obs::Counter& records_counter() {
+  static obs::Counter& counter =
+      obs::registry().counter("ascdg_coverage_records_total");
+  return counter;
+}
+
+}  // namespace
 
 SimStats SimStats::from_counts(std::size_t sims,
                                std::vector<std::size_t> hits) {
@@ -61,6 +76,11 @@ void CoverageRepository::record(std::string_view template_name,
       by_template_.try_emplace(std::string(template_name), event_count_);
   (void)inserted;
   it->second.record(vec);
+  ++records_;
+  records_counter().inc();
+  for (std::size_t i = 0; i < event_count_; ++i) {
+    if (vec.was_hit(EventId{static_cast<std::uint32_t>(i)})) note_hit(i);
+  }
 }
 
 void CoverageRepository::record(std::string_view template_name,
@@ -71,6 +91,27 @@ void CoverageRepository::record(std::string_view template_name,
       by_template_.try_emplace(std::string(template_name), event_count_);
   (void)inserted;
   it->second.merge(stats);
+  ++records_;
+  records_counter().inc();
+  if (stats.sims() != 0) {
+    for (std::size_t i = 0; i < event_count_; ++i) {
+      if (stats.hits(EventId{static_cast<std::uint32_t>(i)}) > 0) note_hit(i);
+    }
+  }
+}
+
+void CoverageRepository::note_hit(std::size_t index) {
+  if (first_hit_record_[index] != 0) return;
+  first_hit_record_[index] = records_;
+  ++events_hit_;
+}
+
+std::optional<std::size_t> CoverageRepository::first_hit_record(
+    EventId id) const {
+  ASCDG_ASSERT(id.value < event_count_, "event id out of range");
+  const std::size_t ordinal = first_hit_record_[id.value];
+  if (ordinal == 0) return std::nullopt;
+  return ordinal;
 }
 
 const SimStats& CoverageRepository::stats(std::string_view template_name) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -64,7 +65,7 @@ class SimStats {
 class CoverageRepository {
  public:
   explicit CoverageRepository(std::size_t event_count)
-      : event_count_(event_count) {}
+      : event_count_(event_count), first_hit_record_(event_count, 0) {}
 
   [[nodiscard]] std::size_t event_count() const noexcept { return event_count_; }
 
@@ -87,8 +88,34 @@ class CoverageRepository {
 
   [[nodiscard]] std::size_t total_sims() const noexcept;
 
+  // --- Closure telemetry ---------------------------------------------------
+  // The repository keeps per-event first-hit ordinals: `records()` counts
+  // every record() fold (a single simulation or one pre-aggregated batch),
+  // and each event remembers the ordinal of the fold that first hit it.
+
+  /// Number of record() calls folded into the repository so far.
+  [[nodiscard]] std::size_t records() const noexcept { return records_; }
+
+  /// Events hit at least once across all templates.
+  [[nodiscard]] std::size_t events_hit() const noexcept { return events_hit_; }
+
+  /// Events never hit so far.
+  [[nodiscard]] std::size_t events_remaining() const noexcept {
+    return event_count_ - events_hit_;
+  }
+
+  /// 1-based ordinal of the record() fold that first hit `id`, or
+  /// nullopt when the event has never been hit.
+  [[nodiscard]] std::optional<std::size_t> first_hit_record(EventId id) const;
+
  private:
+  void note_hit(std::size_t index);
+
   std::size_t event_count_;
+  std::size_t records_ = 0;
+  std::size_t events_hit_ = 0;
+  /// 0 = never hit; otherwise the 1-based fold ordinal of the first hit.
+  std::vector<std::size_t> first_hit_record_;
   std::map<std::string, SimStats, std::less<>> by_template_;
 };
 

@@ -1,0 +1,145 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+#include "util/jsonl.hpp"
+
+namespace ascdg::obs {
+
+namespace {
+
+void append_series(std::string& out, const MetricSample& sample,
+                   std::string_view suffix, std::string_view extra_label,
+                   std::uint64_t value) {
+  out += sample.name;
+  out += suffix;
+  if (!sample.labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += sample.labels;
+    if (!sample.labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& sample : snapshot.samples) {
+    // One TYPE line per family; samples arrive sorted, so families are
+    // contiguous.
+    const std::string family =
+        sample.name + '\0' + to_string(sample.kind);
+    if (family != last_family) {
+      out += "# TYPE ";
+      out += sample.name;
+      out += ' ';
+      out += to_string(sample.kind);
+      out += '\n';
+      last_family = family;
+    }
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        append_series(out, sample, "", "", sample.counter);
+        break;
+      case MetricKind::kGauge:
+        out += sample.name;
+        if (!sample.labels.empty()) {
+          out += '{';
+          out += sample.labels;
+          out += '}';
+        }
+        out += ' ';
+        out += std::to_string(sample.gauge);
+        out += '\n';
+        out += "# TYPE ";
+        out += sample.name;
+        out += "_peak gauge\n";
+        out += sample.name;
+        out += "_peak";
+        if (!sample.labels.empty()) {
+          out += '{';
+          out += sample.labels;
+          out += '}';
+        }
+        out += ' ';
+        out += std::to_string(sample.gauge_peak);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+          if (sample.buckets[i] == 0) continue;  // keep exposition compact
+          cumulative += sample.buckets[i];
+          const std::string le =
+              "le=\"" + std::to_string(1ULL << (i + 1)) + '"';
+          append_series(out, sample, "_bucket", le, cumulative);
+        }
+        append_series(out, sample, "_bucket", "le=\"+Inf\"", sample.count);
+        append_series(out, sample, "_sum", "", sample.sum);
+        append_series(out, sample, "_count", "", sample.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json_object(const MetricSample& sample) {
+  util::JsonObject object;
+  object.add("name", sample.name)
+      .add("labels", sample.labels)
+      .add("kind", to_string(sample.kind));
+  switch (sample.kind) {
+    case MetricKind::kCounter:
+      object.add("value", sample.counter);
+      break;
+    case MetricKind::kGauge:
+      object.add("value", sample.gauge).add("peak", sample.gauge_peak);
+      break;
+    case MetricKind::kHistogram: {
+      std::string buckets = "[";
+      for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+        if (i != 0) buckets += ',';
+        buckets += std::to_string(sample.buckets[i]);
+      }
+      buckets += ']';
+      object.add_raw("buckets", buckets)
+          .add("count", sample.count)
+          .add("sum", sample.sum);
+      break;
+    }
+  }
+  return object.str();
+}
+
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot) {
+  std::string metrics = "[";
+  for (std::size_t i = 0; i < snapshot.samples.size(); ++i) {
+    if (i != 0) metrics += ',';
+    metrics += to_json_object(snapshot.samples[i]);
+  }
+  metrics += ']';
+  util::JsonObject document;
+  document.add("schema", "ascdg-metrics-v1").add_raw("metrics", metrics);
+  os << document.str() << '\n';
+  if (!os) throw util::Error("failed writing metrics JSON");
+}
+
+void write_json(const std::filesystem::path& path,
+                const MetricsSnapshot& snapshot) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw util::Error("cannot open metrics file '" + path.string() +
+                      "' for writing");
+  }
+  write_json(os, snapshot);
+}
+
+}  // namespace ascdg::obs

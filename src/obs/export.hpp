@@ -1,0 +1,46 @@
+// Snapshot exporters: Prometheus text exposition and a JSON writer
+// built on util/jsonl.
+//
+// Prometheus format (text exposition v0.0.4, the subset we need):
+//
+//   # TYPE ascdg_farm_simulations_total counter
+//   ascdg_farm_simulations_total{farm="0"} 258
+//   # TYPE ascdg_farm_chunk_latency_us histogram
+//   ascdg_farm_chunk_latency_us_bucket{farm="0",le="2"} 1
+//   ...
+//   ascdg_farm_chunk_latency_us_bucket{farm="0",le="+Inf"} 5
+//   ascdg_farm_chunk_latency_us_sum{farm="0"} 1234
+//   ascdg_farm_chunk_latency_us_count{farm="0"} 5
+//
+// Log2 bucket i ([2^i, 2^(i+1)) — bucket 0 absorbs 0) is exposed with
+// the exclusive upper bound 2^(i+1) as its `le`, cumulatively, as the
+// format requires. Gauges additionally expose their high-watermark as a
+// sibling `<name>_peak` gauge.
+#pragma once
+
+#include <filesystem>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ascdg::obs {
+
+/// Renders the snapshot in Prometheus text exposition format.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// Writes the snapshot as one JSON document:
+///   {"schema":"ascdg-metrics-v1","metrics":[{...}, ...]}
+/// where each metric carries name/labels/kind plus its kind's values
+/// (counter: value; gauge: value+peak; histogram: buckets/count/sum).
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// File overload; truncates `path`. Throws util::Error on IO failure.
+void write_json(const std::filesystem::path& path,
+                const MetricsSnapshot& snapshot);
+
+/// One metric as a flat JSON object (exposed for composition: the
+/// report module splices these into its run-metrics document).
+[[nodiscard]] std::string to_json_object(const MetricSample& sample);
+
+}  // namespace ascdg::obs

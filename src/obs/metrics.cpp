@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace ascdg::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+void set_metrics_enabled(bool enabled) noexcept {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+std::size_t thread_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards;
+  return shard;
+}
+}  // namespace detail
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  if (!metrics_enabled()) return;
+  const std::size_t bucket =
+      value == 0 ? 0
+                 : std::min<std::size_t>(
+                       static_cast<std::size_t>(std::bit_width(value)) - 1,
+                       kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+const MetricSample* MetricsSnapshot::find(
+    std::string_view name, std::string_view labels) const noexcept {
+  for (const auto& sample : samples) {
+    if (sample.name == name && (labels.empty() || sample.labels == labels)) {
+      return &sample;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+/// Renders labels as `key="value",...` — the canonical identity of a
+/// series within its family, and exactly the Prometheus exposition
+/// brace body. Labels are rendered in the order given.
+std::string render_labels(std::initializer_list<Label> labels) {
+  std::string out;
+  for (const auto& label : labels) {
+    if (!out.empty()) out += ',';
+    out += label.key;
+    out += "=\"";
+    out += label.value;
+    out += '"';
+  }
+  return out;
+}
+}  // namespace
+
+Registry::Entry& Registry::entry(std::string_view name,
+                                 std::initializer_list<Label> labels,
+                                 MetricKind kind) {
+  std::string key(name);
+  std::string rendered = render_labels(labels);
+  if (!rendered.empty()) {
+    key += '{';
+    key += rendered;
+    key += '}';
+  }
+  const std::scoped_lock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry fresh;
+    fresh.name = std::string(name);
+    fresh.labels = std::move(rendered);
+    fresh.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        fresh.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        fresh.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        fresh.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = entries_.emplace(std::move(key), std::move(fresh)).first;
+  } else if (it->second.kind != kind) {
+    throw util::Error("metric '" + it->first + "' already registered as " +
+                      std::string(to_string(it->second.kind)) +
+                      ", requested as " + to_string(kind));
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name,
+                           std::initializer_list<Label> labels) {
+  return *entry(name, labels, MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name,
+                       std::initializer_list<Label> labels) {
+  return *entry(name, labels, MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::initializer_list<Label> labels) {
+  return *entry(name, labels, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  const std::scoped_lock lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.labels = entry.labels;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        sample.gauge = entry.gauge->value();
+        sample.gauge_peak = entry.gauge->peak();
+        break;
+      case MetricKind::kHistogram: {
+        sample.buckets.resize(Histogram::kBuckets);
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          sample.buckets[i] = entry.histogram->bucket(i);
+        }
+        sample.count = entry.histogram->count();
+        sample.sum = entry.histogram->sum();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+}  // namespace ascdg::obs

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 
 namespace ascdg::opt {
@@ -92,6 +94,14 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
   std::uint64_t seed_state = options.seed ^ 0xA5CD6F11E51D5EEDULL;
   util::SeedStream eval_seeds(util::splitmix64_next(seed_state));
 
+  // Process-wide convergence books (registration is cold; the handles'
+  // mutators are wait-free).
+  obs::Registry& reg = obs::registry();
+  obs::Counter& m_iterations = reg.counter("ascdg_opt_iterations_total");
+  obs::Counter& m_evaluations = reg.counter("ascdg_opt_evaluations_total");
+  obs::Counter& m_halvings = reg.counter("ascdg_opt_step_halvings_total");
+  obs::Counter& m_resamples = reg.counter("ascdg_opt_center_resamples_total");
+
   OptResult result;
   std::vector<double> center = clamped(x0, options.lower, options.upper);
   double h = options.initial_step;
@@ -100,6 +110,7 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
   const auto sample = [&](std::span<const double> x) {
     const double value = objective.evaluate(x, eval_seeds.next());
     ++evaluations;
+    m_evaluations.inc();
     return value;
   };
 
@@ -115,7 +126,12 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
       break;
     }
     // Center resampling (noise modification #2).
-    if (options.resample_center && iter > 0) center_value = sample(center);
+    std::size_t resamples = 0;
+    if (options.resample_center && iter > 0) {
+      center_value = sample(center);
+      resamples = 1;
+      m_resamples.inc();
+    }
 
     double best = center_value;
     std::vector<double> next_center = center;
@@ -139,22 +155,43 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
       }
     }
 
-    result.trace.push_back(
-        {iter, center_value, best, h, evaluations, moved});
     if (best > result.best_value) {
       result.best_value = best;
       result.best_point = next_center;
     }
 
+    const double step_this_iter = h;
+    bool halved = false;
     if (!moved) {
       if (++stale_rounds >= options.halve_patience) {
         h /= 2.0;
         stale_rounds = 0;
+        halved = true;
+        m_halvings.inc();
       }
     } else {
       stale_rounds = 0;
       center = std::move(next_center);
       center_value = best;
+    }
+
+    result.trace.push_back({iter, center_value, best, step_this_iter,
+                            evaluations, moved, resamples, halved});
+    m_iterations.inc();
+    if (options.trace != nullptr) {
+      // Note center_value here is the *post-move* objective — the value
+      // the next iteration starts from, i.e. the convergence curve.
+      options.trace->emit(util::JsonObject{}
+                              .add("event", "opt_iter")
+                              .add("label", options.trace_label)
+                              .add("iter", iter)
+                              .add("objective", center_value)
+                              .add("best", best)
+                              .add("step", step_this_iter)
+                              .add("evals", evaluations)
+                              .add("moved", moved)
+                              .add("resamples", resamples)
+                              .add("halved", halved));
     }
 
     if (options.target_value.has_value() && center_value >= *options.target_value) {

@@ -15,7 +15,9 @@
 #include <limits>
 #include <optional>
 #include <span>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "opt/objective.hpp"
 
 namespace ascdg::opt {
@@ -49,6 +51,15 @@ struct ImplicitFilteringOptions {
   double lower = 0.0;  ///< box lower bound (every coordinate)
   double upper = 1.0;  ///< box upper bound
   std::uint64_t seed = 1;
+
+  /// Optional convergence telemetry sink (not owned; must outlive the
+  /// run). When set, every iteration emits one "opt_iter" event —
+  /// objective value at the center (the paper's T_N), best stencil
+  /// value, stencil size h, cumulative evaluations, and the iteration's
+  /// resample / move / halving outcome — parented under the caller's
+  /// current span. `trace_label` distinguishes concurrent runs.
+  obs::Tracer* trace = nullptr;
+  std::string trace_label = "opt";
 };
 
 /// Runs implicit filtering from `x0` (clamped into the box).

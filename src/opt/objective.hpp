@@ -51,7 +51,9 @@ enum class StopReason {
 }
 
 /// One optimizer iteration, for progress plots (paper Fig. 6 shows
-/// "maximal value of the target function per optimization iteration").
+/// "maximal value of the target function per optimization iteration")
+/// and convergence telemetry (objective value, stencil size, resample
+/// and step-halving dynamics per iteration).
 struct IterationRecord {
   std::size_t iteration = 0;
   double center_value = 0.0;  ///< objective at the iteration's center
@@ -59,6 +61,8 @@ struct IterationRecord {
   double step = 0.0;          ///< stencil size h during the iteration
   std::size_t evaluations = 0;  ///< cumulative objective evaluations
   bool moved = false;           ///< did the center move this iteration
+  std::size_t resamples = 0;    ///< center re-samples this iteration (0/1)
+  bool halved = false;          ///< was h halved after this iteration
 };
 
 struct OptResult {

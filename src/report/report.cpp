@@ -5,8 +5,11 @@
 #include <fstream>
 #include <cmath>
 #include <cstdio>
+#include <sstream>
 
+#include "obs/export.hpp"
 #include "util/error.hpp"
+#include "util/jsonl.hpp"
 #include "util/strings.hpp"
 
 namespace ascdg::report {
@@ -197,13 +200,19 @@ void write_flow_markdown(const std::filesystem::path& path,
   status_table(space, family_events, flow).render_markdown(os);
 
   os << "\n## Optimization progress\n\n"
-     << "| iteration | center value | best value | step | moved |\n"
-     << "| ---: | ---: | ---: | ---: | --- |\n";
+     << "| iteration | center value | best value | step | evals | moved "
+        "| resampled | halved |\n"
+     << "| ---: | ---: | ---: | ---: | ---: | --- | --- | --- |\n";
   for (const auto& record : flow.optimization.trace) {
     os << "| " << record.iteration + 1 << " | " << record.center_value
        << " | " << record.best_value << " | " << record.step << " | "
-       << (record.moved ? "yes" : "no") << " |\n";
+       << record.evaluations << " | " << (record.moved ? "yes" : "no")
+       << " | " << (record.resamples != 0 ? "yes" : "no") << " | "
+       << (record.halved ? "yes" : "no") << " |\n";
   }
+
+  os << '\n';
+  render_convergence(os, space, flow);
 
   os << "\n## Run telemetry\n\n";
   telemetry_table(flow).render_markdown(os);
@@ -279,6 +288,122 @@ void render_farm_telemetry(std::ostream& os,
     if (farm.chunk_latency[i] == 0) continue;
     os << "| [" << (1ull << i) << ", " << (1ull << (i + 1)) << ") us | "
        << farm.chunk_latency[i] << " |\n";
+  }
+}
+
+void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
+                        const cdg::FlowResult& flow) {
+  os << "## Convergence\n\n"
+     << "Best objective value per optimization iteration (paper Fig. 6):\n\n"
+     << "```\n";
+  render_trace(os, flow.optimization);
+  os << "```\n";
+
+  if (flow.first_hits.empty()) return;
+
+  // Coverage progress: how many target events each phase closed.
+  static constexpr std::array<const char*, 5> kPhases{
+      "before", "sampling", "optimization", "harvest", "never"};
+  std::array<std::size_t, 5> newly{};
+  for (const auto& hit : flow.first_hits) {
+    for (std::size_t p = 0; p < kPhases.size(); ++p) {
+      if (hit.phase == kPhases[p]) {
+        ++newly[p];
+        break;
+      }
+    }
+  }
+  os << "\nCoverage progress (" << flow.first_hits.size()
+     << " target events):\n\n"
+     << "| phase | newly hit | cumulative |\n| --- | ---: | ---: |\n";
+  std::size_t cumulative = 0;
+  for (std::size_t p = 0; p + 1 < kPhases.size(); ++p) {
+    cumulative += newly[p];
+    os << "| " << kPhases[p] << " | " << newly[p] << " | " << cumulative
+       << " |\n";
+  }
+  if (newly.back() != 0) {
+    os << "| never | " << newly.back() << " | — |\n";
+  }
+
+  if (flow.first_hits.size() <= 24) {
+    os << "\n| target event | first hit |\n| --- | --- |\n";
+    for (const auto& hit : flow.first_hits) {
+      os << "| `" << space.name(hit.event) << "` | " << hit.phase << " |\n";
+    }
+  }
+}
+
+void write_metrics_json(const std::filesystem::path& path,
+                        const coverage::CoverageSpace& space,
+                        const cdg::FlowResult& flow,
+                        const obs::MetricsSnapshot& snapshot) {
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw util::Error("cannot create directory '" +
+                        path.parent_path().string() + "': " + ec.message());
+    }
+  }
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    throw util::Error("cannot open '" + path.string() + "' for writing");
+  }
+
+  const auto series_json = [](const opt::OptResult& result) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+      const auto& r = result.trace[i];
+      if (i != 0) out += ',';
+      out += util::JsonObject{}
+                 .add("iter", r.iteration)
+                 .add("objective", r.center_value)
+                 .add("best", r.best_value)
+                 .add("step", r.step)
+                 .add("evals", r.evaluations)
+                 .add("moved", r.moved)
+                 .add("resamples", r.resamples)
+                 .add("halved", r.halved)
+                 .str();
+    }
+    out += ']';
+    return out;
+  };
+
+  std::string first_hits = "[";
+  for (std::size_t i = 0; i < flow.first_hits.size(); ++i) {
+    const auto& hit = flow.first_hits[i];
+    if (i != 0) first_hits += ',';
+    first_hits += util::JsonObject{}
+                      .add("event", space.name(hit.event))
+                      .add("event_id", hit.event.value)
+                      .add("phase", hit.phase)
+                      .str();
+  }
+  first_hits += ']';
+
+  std::ostringstream registry;
+  obs::write_json(registry, snapshot);
+  std::string registry_json = registry.str();
+  while (!registry_json.empty() && registry_json.back() == '\n') {
+    registry_json.pop_back();
+  }
+
+  util::JsonObject document;
+  document.add("schema", "ascdg-run-metrics-v1")
+      .add("seed_template", flow.seed_template)
+      .add("flow_sims", flow.flow_sims())
+      .add_raw("opt_series", series_json(flow.optimization));
+  if (flow.refinement.has_value()) {
+    document.add_raw("refine_series", series_json(*flow.refinement));
+  }
+  document.add_raw("first_hits", first_hits)
+      .add_raw("registry", registry_json);
+  os << document.str() << '\n';
+  os.flush();
+  if (!os) {
+    throw util::Error("failed writing '" + path.string() + "'");
   }
 }
 

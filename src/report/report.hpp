@@ -13,6 +13,7 @@
 
 #include "cdg/runner.hpp"
 #include "coverage/space.hpp"
+#include "obs/metrics.hpp"
 #include "opt/objective.hpp"
 #include "util/table.hpp"
 
@@ -68,15 +69,34 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
 void render_farm_telemetry(std::ostream& os,
                            const batch::TelemetrySnapshot& farm);
 
+/// Renders the convergence section as markdown: the optimizer's
+/// objective curve (paper Fig. 6) as a fenced ASCII chart plus the
+/// per-iteration step/resample/halving dynamics, and the coverage
+/// progress — which flow phase first hit each target event.
+void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
+                        const cdg::FlowResult& flow);
+
 /// Writes a complete markdown report of a flow run — caption, the
 /// Fig. 3/4-style phase table, the status summary, the optimization
-/// trace as a markdown table, run telemetry, and the harvested
-/// template — to `path`. When `farm` is non-null its counters are
-/// appended to the telemetry section. Throws util::Error on IO failure.
+/// trace as a markdown table, the convergence section, run telemetry,
+/// and the harvested template — to `path`. When `farm` is non-null its
+/// counters are appended to the telemetry section. Throws util::Error
+/// on IO failure.
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
                          const cdg::FlowResult& flow,
                          const batch::TelemetrySnapshot* farm = nullptr);
+
+/// Writes the machine-readable metrics snapshot of a flow run: one JSON
+/// object (schema "ascdg-run-metrics-v1") holding the per-iteration
+/// implicit-filtering series (objective value, step size, resamples,
+/// halvings), the refinement series when present, per-target-event
+/// first-hit phases, and the full metrics-registry snapshot. Throws
+/// util::Error on IO failure. See docs/observability.md.
+void write_metrics_json(const std::filesystem::path& path,
+                        const coverage::CoverageSpace& space,
+                        const cdg::FlowResult& flow,
+                        const obs::MetricsSnapshot& snapshot);
 
 }  // namespace ascdg::report

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace ascdg::tac {
 
 double Tac::hit_probability(std::string_view template_name,
@@ -11,8 +13,12 @@ double Tac::hit_probability(std::string_view template_name,
 
 std::vector<TemplateScore> Tac::best_templates(
     std::span<const WeightedEvent> events, std::size_t n) const {
+  obs::Registry& reg = obs::registry();
+  reg.counter("ascdg_tac_queries_total").inc();
+  obs::Counter& m_scored = reg.counter("ascdg_tac_templates_scored_total");
   std::vector<TemplateScore> scored;
   for (const auto& name : repo_->template_names()) {
+    m_scored.inc();
     const auto& stats = repo_->stats(name);
     double score = 0.0;
     for (const auto& [event, weight] : events) {

@@ -1,14 +1,19 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <iostream>
 #include <mutex>
+#include <utility>
 
 namespace ascdg::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+std::mutex g_mutex;           // serializes sink swaps and default output
+LogSink g_sink;               // empty = default stderr sink
+thread_local std::uint64_t tls_context = 0;
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -25,6 +30,17 @@ const char* level_tag(LogLevel level) noexcept {
   }
   return "?????";
 }
+
+/// The default sink: "[ascdg INFO  +1.234567s span=7] message" on
+/// stderr. Called under g_mutex so concurrent lines never interleave.
+void default_sink(const LogRecord& record) {
+  char stamp[48];
+  std::snprintf(stamp, sizeof stamp, "+%.6fs",
+                static_cast<double>(record.mono_ns) / 1e9);
+  std::cerr << "[ascdg " << level_tag(record.level) << ' ' << stamp;
+  if (record.context != 0) std::cerr << " span=" << record.context;
+  std::cerr << "] " << record.message << '\n';
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
@@ -33,10 +49,33 @@ void set_log_level(LogLevel level) noexcept {
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::uint64_t monotonic_ns() noexcept {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+void set_log_sink(LogSink sink) {
+  const std::scoped_lock lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void set_log_context(std::uint64_t context) noexcept { tls_context = context; }
+
+std::uint64_t log_context() noexcept { return tls_context; }
+
 void log_line(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
+  const LogRecord record{level, monotonic_ns(), tls_context, message};
   const std::scoped_lock lock(g_mutex);
-  std::cerr << "[ascdg " << level_tag(level) << "] " << message << '\n';
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    default_sink(record);
+  }
 }
 
 }  // namespace ascdg::util

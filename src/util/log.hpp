@@ -1,7 +1,18 @@
-// Minimal leveled logger. The CDG flow reports phase progress at Info;
-// benchmarks usually silence it with set_level(Level::kWarn).
+// Structured leveled logging. The CDG flow reports phase progress at
+// Info; benchmarks usually silence it with set_log_level(Level::kWarn).
+//
+// Every line carries a severity, a monotonic timestamp (nanoseconds
+// since process start, from the same clock the obs tracer stamps spans
+// with), and the calling thread's log context — an opaque id that
+// obs::Span sets to its span id, so log lines interleaved with a JSONL
+// trace can be joined on it. Output goes through a pluggable sink; the
+// default sink renders to stderr as
+//
+//   [ascdg INFO  +0.123456s span=7] message
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string_view>
 
@@ -13,7 +24,45 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Writes one log line to stderr if `level` passes the global filter.
+/// Nanoseconds since process start on a steady (monotonic) clock — the
+/// shared timebase for log lines and obs trace spans.
+[[nodiscard]] std::uint64_t monotonic_ns() noexcept;
+
+/// One log line, as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::uint64_t mono_ns = 0;   ///< monotonic_ns() at emission
+  std::uint64_t context = 0;   ///< thread's log context (0 = none)
+  std::string_view message;    ///< valid only during the sink call
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replaces the global sink (thread-safe). An empty function restores
+/// the default stderr sink. Level filtering happens before the sink.
+void set_log_sink(LogSink sink);
+
+/// Thread-local correlation id stamped on every log line this thread
+/// emits; obs::Span sets it to the active span id. 0 means "no context".
+void set_log_context(std::uint64_t context) noexcept;
+[[nodiscard]] std::uint64_t log_context() noexcept;
+
+/// Restores the previous context on destruction (RAII for nesting).
+class ScopedLogContext {
+ public:
+  explicit ScopedLogContext(std::uint64_t context) noexcept
+      : previous_(log_context()) {
+    set_log_context(context);
+  }
+  ~ScopedLogContext() { set_log_context(previous_); }
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Routes one line through the sink if `level` passes the global filter.
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {

@@ -362,6 +362,40 @@ TEST(SimFarmV2, DestructorDrainsInFlightRun) {
   EXPECT_EQ(stats.sims(), 256u);
 }
 
+// Regression: the pre-registry queue-depth gauge was updated with a
+// non-atomic read-modify-write racing enqueue against steal, so after a
+// run it could drift away from zero and the recorded peak could be
+// garbage. The obs::Gauge keeps one atomic cell with matched inc/dec,
+// so an idle farm must read exactly zero — under concurrent run_all
+// callers too (this test runs under TSan in CI).
+TEST(SimFarmV2, QueueDepthGaugeIsConsistentUnderConcurrentRuns) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  SimFarm farm(4);
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::thread> callers;
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&farm, &io, &tmpl, t] {
+      std::vector<SimFarm::Job> jobs(8, SimFarm::Job{&tmpl, 16, 0});
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        jobs[j].seed_root = t * 100 + j;
+      }
+      for (int round = 0; round < 5; ++round) (void)farm.run_all(io, jobs);
+    });
+  }
+  for (auto& caller : callers) caller.join();
+
+  const TelemetrySnapshot snap = farm.telemetry();
+  // Matched inc/dec: nothing queued once every run_all returned.
+  EXPECT_EQ(snap.queue_depth, 0u);
+  // 4 callers x 5 rounds x 8 jobs, one chunk each (16 < chunk size).
+  EXPECT_EQ(snap.enqueued, kCallers * 5u * 8u);
+  EXPECT_EQ(snap.chunks, snap.enqueued);
+  EXPECT_GE(snap.max_queue_depth, 1u);
+  EXPECT_LE(snap.max_queue_depth, snap.enqueued);
+  EXPECT_EQ(snap.simulations, kCallers * 5u * 8u * 16u);
+}
+
 TEST(SimFarmV2, ExceptionInOneJobOfManyRetiresTheWholeCall) {
   const duv::IoUnit io;
   const ThrowingDuv bad(io, /*fail_after=*/40);

@@ -16,6 +16,7 @@
 #include "cdg/skeletonizer.hpp"
 #include "duv/io_unit.hpp"
 #include "neighbors/neighbors.hpp"
+#include "obs/trace.hpp"
 #include "tgen/parser.hpp"
 #include "util/error.hpp"
 
@@ -376,7 +377,7 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   const duv::IoUnit io;
   batch::SimFarm farm(2);
   std::ostringstream trace;
-  batch::TraceSink sink(trace);
+  obs::Tracer sink(trace);
 
   FlowConfig config;
   config.sample_templates = 10;
@@ -393,10 +394,14 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   const auto target = neighbors::family_target(io.space(), "crc", none);
   const auto result = runner.run_from_template(target, io.suite().front());
 
-  // One line per event: flow_start, three phases, flow_end.
+  // flow_start, three phases, flow_end — plus the span records, the
+  // per-iteration opt_iter series, and one first_hit per target event.
   std::istringstream lines(trace.str());
   std::string line;
   std::size_t phase_lines = 0;
+  std::size_t span_lines = 0;
+  std::size_t opt_iter_lines = 0;
+  std::size_t first_hit_lines = 0;
   std::size_t sims_total = 0;
   std::size_t farm_total_in_trace = 0;
   std::size_t flow_end_lines = 0;
@@ -410,6 +415,13 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
       sims_total += sims;
       EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos) << line;
     }
+    if (line.find("\"event\":\"span\"") != std::string::npos) ++span_lines;
+    if (line.find("\"event\":\"opt_iter\"") != std::string::npos) {
+      ++opt_iter_lines;
+    }
+    if (line.find("\"event\":\"first_hit\"") != std::string::npos) {
+      ++first_hit_lines;
+    }
     if (line.find("\"event\":\"flow_end\"") != std::string::npos) {
       ++flow_end_lines;
       ASSERT_TRUE(
@@ -419,7 +431,12 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   }
   EXPECT_EQ(phase_lines, 3u);
   EXPECT_EQ(flow_end_lines, 1u);
-  EXPECT_EQ(sink.lines(), 5u);
+  // flow + skeletonize + sampling + optimization + harvest.
+  EXPECT_EQ(span_lines, 5u);
+  EXPECT_EQ(opt_iter_lines, result.optimization.trace.size());
+  EXPECT_EQ(first_hit_lines, target.targets().size());
+  EXPECT_EQ(result.first_hits.size(), target.targets().size());
+  EXPECT_EQ(sink.lines(), 5u + span_lines + opt_iter_lines + first_hit_lines);
 
   // The paper's cost metric must reconcile: per-phase sims sum to the
   // farm's books (the farm was fresh, so flow sims are all its sims).

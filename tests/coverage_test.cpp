@@ -352,6 +352,47 @@ TEST(Repository, RecordStatsMergesWithExisting) {
   EXPECT_EQ(repo.stats("t").hits(EventId{0}), 2u);
 }
 
+TEST(Repository, FirstHitOrdinalsTrackClosureProgress) {
+  CoverageRepository repo(3);
+  EXPECT_EQ(repo.records(), 0u);
+  EXPECT_EQ(repo.events_hit(), 0u);
+  EXPECT_EQ(repo.events_remaining(), 3u);
+  EXPECT_FALSE(repo.first_hit_record(EventId{0}).has_value());
+
+  CoverageVector miss(3);
+  repo.record("t1", miss);  // record 1: hits nothing
+
+  CoverageVector hit0(3);
+  hit0.hit(EventId{0});
+  repo.record("t1", hit0);  // record 2: first hit of event 0
+  repo.record("t1", hit0);  // record 3: event 0 again — ordinal sticks
+
+  CoverageVector hit01(3);
+  hit01.hit(EventId{0});
+  hit01.hit(EventId{1});
+  repo.record("t2", hit01);  // record 4: first hit of event 1
+
+  EXPECT_EQ(repo.records(), 4u);
+  EXPECT_EQ(repo.events_hit(), 2u);
+  EXPECT_EQ(repo.events_remaining(), 1u);
+  EXPECT_EQ(repo.first_hit_record(EventId{0}), 2u);
+  EXPECT_EQ(repo.first_hit_record(EventId{1}), 4u);
+  EXPECT_FALSE(repo.first_hit_record(EventId{2}).has_value());
+}
+
+TEST(Repository, FirstHitOrdinalsCoverPreAggregatedFolds) {
+  CoverageRepository repo(2);
+  SimStats s(2);
+  CoverageVector v(2);
+  v.hit(EventId{1});
+  s.record(v);
+  repo.record("bulk", s);  // one fold, even though it holds many sims
+  EXPECT_EQ(repo.records(), 1u);
+  EXPECT_EQ(repo.first_hit_record(EventId{1}), 1u);
+  EXPECT_FALSE(repo.first_hit_record(EventId{0}).has_value());
+  EXPECT_EQ(repo.events_hit(), 1u);
+}
+
 // ----------------------------------------------------------- persistence --
 
 class RepositoryIo : public ::testing::Test {

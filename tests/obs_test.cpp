@@ -1,0 +1,279 @@
+// Tests for the observability layer: metrics registry (concurrent
+// counters/histograms, snapshot determinism, exposition formats) and
+// the span tracer (parenting, schema, log correlation).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace ascdg::obs {
+namespace {
+
+TEST(Counter, ConcurrentAddsFromEightThreadsSumExactly) {
+  Registry reg;
+  Counter& counter = reg.counter("test_concurrent_total");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, ConcurrentObservationsFromEightThreadsAreLossless) {
+  Registry reg;
+  Histogram& hist = reg.histogram("test_latency_us");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hist.observe(t * 100 + 1);  // spread across several buckets
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    bucket_total += hist.bucket(i);
+  }
+  EXPECT_EQ(bucket_total, hist.count());
+}
+
+TEST(Histogram, Log2Bucketing) {
+  Registry reg;
+  Histogram& hist = reg.histogram("test_buckets");
+  hist.observe(0);  // bucket 0 absorbs zero
+  hist.observe(1);  // bucket 0: [1, 2)
+  hist.observe(2);  // bucket 1: [2, 4)
+  hist.observe(3);  // bucket 1
+  hist.observe(1024);  // bucket 10
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(1), 2u);
+  EXPECT_EQ(hist.bucket(10), 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.sum(), 0u + 1 + 2 + 3 + 1024);
+}
+
+TEST(Gauge, TracksValueAndPeakUnderConcurrentChurn) {
+  Registry reg;
+  Gauge& gauge = reg.gauge("test_depth");
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < 10'000; ++i) {
+        gauge.add(1);
+        gauge.sub(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every increment was matched by a decrement; with a single atomic
+  // cell the final value is exactly zero (this is the consistency the
+  // old non-atomic farm gauge lacked).
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_GE(gauge.peak(), 1);
+  EXPECT_LE(gauge.peak(), static_cast<std::int64_t>(kThreads));
+}
+
+TEST(Registry, SameSeriesReturnsSameHandleAndKindMismatchThrows) {
+  Registry reg;
+  Counter& a = reg.counter("test_handle", {{"unit", "io"}});
+  Counter& b = reg.counter("test_handle", {{"unit", "io"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("test_handle", {{"unit", "lsu"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_THROW((void)reg.gauge("test_handle", {{"unit", "io"}}), util::Error);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, SnapshotIsDeterministicallySorted) {
+  Registry reg;
+  // Register out of order; snapshots must come back sorted by
+  // (name, labels) regardless.
+  reg.counter("zeta_total").add(1);
+  reg.gauge("alpha_depth").set(7);
+  reg.counter("beta_total", {{"k", "2"}}).add(2);
+  reg.counter("beta_total", {{"k", "1"}}).add(1);
+
+  const MetricsSnapshot first = reg.snapshot();
+  const MetricsSnapshot second = reg.snapshot();
+  ASSERT_EQ(first.samples.size(), 4u);
+  EXPECT_EQ(first.samples[0].name, "alpha_depth");
+  EXPECT_EQ(first.samples[1].labels, "k=\"1\"");
+  EXPECT_EQ(first.samples[2].labels, "k=\"2\"");
+  EXPECT_EQ(first.samples[3].name, "zeta_total");
+  for (std::size_t i = 0; i < first.samples.size(); ++i) {
+    EXPECT_EQ(first.samples[i].name, second.samples[i].name);
+    EXPECT_EQ(first.samples[i].labels, second.samples[i].labels);
+    EXPECT_EQ(first.samples[i].counter, second.samples[i].counter);
+  }
+
+  const MetricSample* found = first.find("beta_total", "k=\"2\"");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->counter, 2u);
+  EXPECT_EQ(first.find("missing"), nullptr);
+}
+
+TEST(Export, PrometheusGolden) {
+  Registry reg;
+  reg.counter("ascdg_demo_total", {{"farm", "0"}}).add(42);
+  Gauge& gauge = reg.gauge("ascdg_demo_depth");
+  gauge.add(5);
+  gauge.sub(2);
+  Histogram& hist = reg.histogram("ascdg_demo_us");
+  hist.observe(3);
+  hist.observe(3);
+  hist.observe(100);
+
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_EQ(text,
+            "# TYPE ascdg_demo_depth gauge\n"
+            "ascdg_demo_depth 3\n"
+            "# TYPE ascdg_demo_depth_peak gauge\n"
+            "ascdg_demo_depth_peak 5\n"
+            "# TYPE ascdg_demo_total counter\n"
+            "ascdg_demo_total{farm=\"0\"} 42\n"
+            "# TYPE ascdg_demo_us histogram\n"
+            "ascdg_demo_us_bucket{le=\"4\"} 2\n"
+            "ascdg_demo_us_bucket{le=\"128\"} 3\n"
+            "ascdg_demo_us_bucket{le=\"+Inf\"} 3\n"
+            "ascdg_demo_us_sum 106\n"
+            "ascdg_demo_us_count 3\n");
+}
+
+TEST(Export, JsonSnapshotShape) {
+  Registry reg;
+  reg.counter("ascdg_demo_total").add(7);
+  (void)reg.histogram("ascdg_demo_us");
+  std::ostringstream os;
+  write_json(os, reg.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"schema\":\"ascdg-metrics-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"ascdg_demo_total\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\":[0,"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Metrics, DisabledMutatorsAreNoOps) {
+  Registry reg;
+  Counter& counter = reg.counter("test_disabled_total");
+  Gauge& gauge = reg.gauge("test_disabled_depth");
+  Histogram& hist = reg.histogram("test_disabled_us");
+  counter.add(1);
+  set_metrics_enabled(false);
+  counter.add(100);
+  gauge.add(100);
+  hist.observe(100);
+  set_metrics_enabled(true);
+  EXPECT_EQ(counter.value(), 1u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(Tracer, StampsSequenceAndTimestampOnEveryLine) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  tracer.emit(util::JsonObject{}.add("event", "a"));
+  tracer.emit(util::JsonObject{}.add("event", "b"));
+  EXPECT_EQ(tracer.lines(), 2u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t seq = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(seq)), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"ts_ms\":"), std::string::npos) << line;
+    ++seq;
+  }
+  EXPECT_EQ(seq, 2u);
+}
+
+TEST(Span, ParentChildNestingAndFields) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  {
+    Span outer = tracer.span("outer");
+    EXPECT_TRUE(outer.live());
+    EXPECT_EQ(outer.parent(), 0u);
+    {
+      Span inner = tracer.span("inner");
+      EXPECT_EQ(inner.parent(), outer.id());
+      inner.fields().add("detail", 42);
+    }
+    // After the inner span ended, new spans parent to `outer` again.
+    Span sibling = tracer.span("sibling");
+    EXPECT_EQ(sibling.parent(), outer.id());
+  }
+  const std::string text = out.str();
+  // Inner ends first: lines arrive inner, sibling, outer.
+  std::istringstream lines(text);
+  std::string inner_line, sibling_line, outer_line;
+  ASSERT_TRUE(std::getline(lines, inner_line));
+  ASSERT_TRUE(std::getline(lines, sibling_line));
+  ASSERT_TRUE(std::getline(lines, outer_line));
+  EXPECT_NE(inner_line.find("\"span\":\"inner\""), std::string::npos);
+  EXPECT_NE(inner_line.find("\"detail\":42"), std::string::npos);
+  EXPECT_NE(inner_line.find("\"dur_us\":"), std::string::npos);
+  EXPECT_NE(inner_line.find("\"start_us\":"), std::string::npos);
+  EXPECT_NE(sibling_line.find("\"span\":\"sibling\""), std::string::npos);
+  EXPECT_NE(outer_line.find("\"span\":\"outer\""), std::string::npos);
+  EXPECT_NE(outer_line.find("\"parent_id\":0"), std::string::npos);
+}
+
+TEST(Span, EndIsIdempotentAndInertSpansEmitNothing) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  Span span = make_span(&tracer, "explicit");
+  span.end();
+  span.end();
+  EXPECT_EQ(tracer.lines(), 1u);
+
+  Span inert = make_span(nullptr, "nothing");
+  EXPECT_FALSE(inert.live());
+  inert.end();  // no crash, no output
+  EXPECT_EQ(tracer.lines(), 1u);
+}
+
+TEST(Span, IdDoublesAsLogContextForCorrelation) {
+  std::ostringstream out;
+  Tracer tracer(out);
+  EXPECT_EQ(util::log_context(), 0u);
+  {
+    Span span = tracer.span("work");
+    EXPECT_EQ(util::log_context(), span.id());
+    {
+      Span nested = tracer.span("nested");
+      EXPECT_EQ(util::log_context(), nested.id());
+    }
+    EXPECT_EQ(util::log_context(), span.id());
+  }
+  EXPECT_EQ(util::log_context(), 0u);
+}
+
+TEST(Registry, GlobalRegistryIsProcessWideSingleton) {
+  Registry& a = registry();
+  Registry& b = registry();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace ascdg::obs

@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "opt/baselines.hpp"
 #include "opt/implicit_filtering.hpp"
 #include "opt/synthetic.hpp"
@@ -52,6 +55,45 @@ TEST(ImplicitFiltering, ConvergesUnderBernoulliNoise) {
   const auto result = implicit_filtering(objective, x0, options);
   // Must end up close enough that the true probability is near peak.
   EXPECT_GT(objective.hit_probability(result.best_point), 0.55);
+}
+
+TEST(ImplicitFiltering, EmitsOneOptIterTraceEventPerIteration) {
+  const std::vector<double> optimum{0.7, 0.3};
+  NoisyQuadratic objective(optimum, 0.0);
+  std::ostringstream out;
+  obs::Tracer tracer(out);
+  ImplicitFilteringOptions options;
+  options.max_iterations = 6;
+  options.directions = 4;
+  options.seed = 5;
+  options.trace = &tracer;
+  options.trace_label = "unit-test";
+  const std::vector<double> x0{0.1, 0.9};
+  const auto result = implicit_filtering(objective, x0, options);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t iter_lines = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_NE(line.find("\"event\":\"opt_iter\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"label\":\"unit-test\""), std::string::npos);
+    EXPECT_NE(line.find("\"iter\":" + std::to_string(iter_lines)),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"objective\":"), std::string::npos);
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"resamples\":"), std::string::npos);
+    EXPECT_NE(line.find("\"halved\":"), std::string::npos);
+    ++iter_lines;
+  }
+  EXPECT_EQ(iter_lines, result.trace.size());
+  // The emitted series mirrors the in-memory IterationRecord trace.
+  for (const auto& record : result.trace) {
+    EXPECT_EQ(record.resamples, (options.resample_center &&
+                                 record.iteration > 0)
+                                    ? 1u
+                                    : 0u);
+  }
 }
 
 TEST(ImplicitFiltering, StepHalvesWhenCenterIsBest) {

@@ -235,5 +235,94 @@ TEST(Telemetry, MarkdownReportIncludesFarmCounters) {
   std::filesystem::remove_all(path.parent_path(), ec);
 }
 
+TEST(Convergence, SectionRendersCurveAndCoverageProgress) {
+  auto flow = fake_flow();
+  flow.first_hits = {{EventId{0}, "before"},
+                     {EventId{1}, "optimization"},
+                     {EventId{2}, "never"}};
+  const auto space = three_event_space();
+  std::ostringstream os;
+  render_convergence(os, space, flow);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("## Convergence"), std::string::npos);
+  EXPECT_NE(text.find("```"), std::string::npos);  // fenced ASCII curve
+  EXPECT_NE(text.find("| phase | newly hit | cumulative |"),
+            std::string::npos);
+  EXPECT_NE(text.find("| before | 1 | 1 |"), std::string::npos);
+  EXPECT_NE(text.find("| sampling | 0 | 1 |"), std::string::npos);
+  EXPECT_NE(text.find("| optimization | 1 | 2 |"), std::string::npos);
+  EXPECT_NE(text.find("| never | 1 |"), std::string::npos);
+  // Small event sets get the per-event first-hit table.
+  EXPECT_NE(text.find("| `fam_b` | optimization |"), std::string::npos);
+}
+
+TEST(Convergence, MarkdownReportIncludesConvergenceSection) {
+  auto flow = fake_flow();
+  flow.first_hits = {{EventId{0}, "sampling"}};
+  const auto space = three_event_space();
+  const std::vector<EventId> events{EventId{0}, EventId{1}, EventId{2}};
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ascdg_report_conv_" + std::to_string(::getpid())) /
+                    "flow.md";
+  write_flow_markdown(path, space, events, flow);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("## Convergence"), std::string::npos);
+  EXPECT_NE(text.find("Coverage progress"), std::string::npos);
+  // The extended optimization-progress table carries the telemetry
+  // columns.
+  EXPECT_NE(text.find("| resampled | halved |"), std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(path.parent_path(), ec);
+}
+
+TEST(MetricsJson, CarriesOptSeriesFirstHitsAndRegistry) {
+  auto flow = fake_flow();
+  flow.seed_template = "seed_tmpl";
+  flow.first_hits = {{EventId{0}, "sampling"}, {EventId{2}, "never"}};
+  flow.optimization.trace.clear();
+  flow.optimization.trace.push_back(
+      {0, 0.25, 0.3, 0.4, 12, true, 0, false});
+  flow.optimization.trace.push_back(
+      {1, 0.3, 0.31, 0.4, 24, false, 1, true});
+  const auto space = three_event_space();
+
+  obs::Registry reg;
+  reg.counter("ascdg_test_series_total").add(5);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("ascdg_report_metrics_" + std::to_string(::getpid())) /
+                    "m.json";
+  write_metrics_json(path, space, flow, reg.snapshot());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("\"schema\":\"ascdg-run-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"seed_template\":\"seed_tmpl\""), std::string::npos);
+  // Per-iteration implicit-filtering series: objective, step, resamples.
+  EXPECT_NE(text.find("\"opt_series\":[{\"iter\":0,\"objective\":0.25,"
+                      "\"best\":0.3,\"step\":0.4,\"evals\":12,\"moved\":true,"
+                      "\"resamples\":0,\"halved\":false}"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"resamples\":1,\"halved\":true"), std::string::npos);
+  // Per-event first-hit data.
+  EXPECT_NE(
+      text.find("{\"event\":\"fam_a\",\"event_id\":0,\"phase\":\"sampling\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("{\"event\":\"fam_c\",\"event_id\":2,\"phase\":\"never\"}"),
+      std::string::npos);
+  // The registry snapshot rides along under "registry".
+  EXPECT_NE(text.find("\"registry\":{\"schema\":\"ascdg-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"ascdg_test_series_total\""),
+            std::string::npos);
+  std::error_code ec;
+  std::filesystem::remove_all(path.parent_path(), ec);
+}
+
 }  // namespace
 }  // namespace ascdg::report

@@ -450,6 +450,66 @@ TEST(Log, LevelFilterWorks) {
   set_log_level(old_level);
 }
 
+TEST(Log, SinkReceivesLevelTimestampAndContext) {
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kInfo);
+  struct Captured {
+    LogLevel level;
+    std::uint64_t mono_ns;
+    std::uint64_t context;
+    std::string message;
+  };
+  std::vector<Captured> captured;
+  set_log_sink([&captured](const LogRecord& record) {
+    captured.push_back({record.level, record.mono_ns, record.context,
+                        std::string(record.message)});
+  });
+
+  const std::uint64_t before = monotonic_ns();
+  log_info("plain line");
+  {
+    ScopedLogContext scope(42);
+    log_warn("inside span ", 7);
+  }
+  log_info("after");
+  set_log_sink({});  // restore stderr default
+  set_log_level(old_level);
+
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].context, 0u);
+  EXPECT_EQ(captured[0].message, "plain line");
+  EXPECT_GE(captured[0].mono_ns, before);
+  EXPECT_EQ(captured[1].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[1].context, 42u);
+  EXPECT_EQ(captured[1].message, "inside span 7");
+  EXPECT_EQ(captured[2].context, 0u);
+  EXPECT_GE(captured[2].mono_ns, captured[0].mono_ns);
+}
+
+TEST(Log, MonotonicClockNeverGoesBackwards) {
+  std::uint64_t last = monotonic_ns();
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t now = monotonic_ns();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(Log, ScopedContextNestsAndRestores) {
+  EXPECT_EQ(log_context(), 0u);
+  {
+    ScopedLogContext outer(1);
+    EXPECT_EQ(log_context(), 1u);
+    {
+      ScopedLogContext inner(2);
+      EXPECT_EQ(log_context(), 2u);
+    }
+    EXPECT_EQ(log_context(), 1u);
+  }
+  EXPECT_EQ(log_context(), 0u);
+}
+
 // --------------------------------------------------------------- error --
 
 TEST(Error, AssertThrowsLogicError) {

@@ -12,7 +12,8 @@
 //   ascdg run <unit> --family F [--before-sims N] [--samples N]
 //             [--sample-sims N] [--iterations N] [--directions N]
 //             [--point-sims N] [--harvest N] [--seed S] [--refine]
-//             [--save-best FILE] [--csv FILE]
+//             [--save-best FILE] [--csv FILE] [--metrics FILE]
+//   ascdg metrics-dump [unit] [--sims N] [--json]
 //
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstring>
@@ -24,13 +25,15 @@
 #include <vector>
 
 #include "batch/sim_farm.hpp"
-#include "batch/telemetry.hpp"
 #include "cdg/runner.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/holes.hpp"
 #include "coverage/repository_io.hpp"
 #include "duv/registry.hpp"
 #include "neighbors/neighbors.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/report.hpp"
 #include "stimgen/profile.hpp"
 #include "tac/tac.hpp"
@@ -64,7 +67,10 @@ commands:
       [--directions N] [--point-sims N] [--harvest N] [--seed S]
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
       [--save-before FILE.csv] [--before-csv FILE.csv]
-      [--trace FILE.jsonl]
+      [--trace FILE.jsonl] [--metrics FILE.json]
+  metrics-dump [unit] [--sims N]     run a small workload and dump the
+      [--json]                       metrics registry (Prometheus text,
+                                     or one JSON object with --json)
 )";
   return 1;
 }
@@ -382,13 +388,14 @@ int cmd_run(Args& args) {
   config.seed = args.size_value("--seed", 2021);
   config.refine_with_real_target = args.flag("--refine");
 
-  std::unique_ptr<batch::TraceSink> trace;
+  std::unique_ptr<obs::Tracer> trace;
   std::string trace_path;
   if (const auto path = args.value("--trace"); path.has_value()) {
     trace_path = *path;
-    trace = std::make_unique<batch::TraceSink>(trace_path);
+    trace = std::make_unique<obs::Tracer>(trace_path);
     config.trace = trace.get();
   }
+  const auto metrics_path = args.value("--metrics");
 
   batch::SimFarm farm;
   coverage::CoverageRepository repo(unit->space().size());
@@ -445,10 +452,44 @@ int cmd_run(Args& args) {
                                 &farm_stats);
     std::cerr << "wrote " << *md << '\n';
   }
+  if (metrics_path.has_value()) {
+    report::write_metrics_json(*metrics_path, unit->space(), result,
+                               obs::registry().snapshot());
+    std::cerr << "wrote metrics snapshot to " << *metrics_path << '\n';
+  }
   if (trace != nullptr) {
     std::cerr << "wrote " << trace->lines() << " trace events to "
               << trace_path << '\n';
   }
+  return 0;
+}
+
+int cmd_metrics_dump(Args& args) {
+  const auto unit_name = args.positional().value_or("io_unit");
+  const auto unit = make_unit(unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << unit_name << "'\n";
+    return 1;
+  }
+  const std::size_t sims = args.size_value("--sims", 200);
+  const bool as_json = args.flag("--json");
+
+  // Exercise the farm + TAC so the registry has something to show:
+  // every metric family a real run would touch gets registered here.
+  batch::SimFarm farm;
+  const auto repo = simulate_suite(*unit, farm, sims);
+  const tac::Tac tac_view(repo);
+  (void)tac_view.best_templates(tac_view.uncovered_events(), 3);
+
+  const obs::MetricsSnapshot snapshot = obs::registry().snapshot();
+  if (as_json) {
+    obs::write_json(std::cout, snapshot);
+  } else {
+    std::cout << obs::to_prometheus(snapshot);
+  }
+  std::cerr << snapshot.samples.size() << " metric series after "
+            << util::format_count(farm.total_simulations())
+            << " simulations on " << unit_name << '\n';
   return 0;
 }
 
@@ -479,6 +520,8 @@ int main(int argc, char** argv) {
       rc = cmd_holes(args);
     } else if (command == "run") {
       rc = cmd_run(args);
+    } else if (command == "metrics-dump") {
+      rc = cmd_metrics_dump(args);
     } else {
       return usage();
     }
