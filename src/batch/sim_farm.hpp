@@ -97,11 +97,16 @@ class SimFarm {
                                        std::size_t count,
                                        std::uint64_t seed_root);
 
-  /// A batch job: one template simulated `count` times.
+  /// A batch job: one template simulated `count` times. `tag` is an
+  /// opaque caller-correlation id carried alongside the job (e.g. the
+  /// batch position a multi-point evaluation maps this job back to);
+  /// the farm never interprets it — results come back in job order
+  /// regardless.
   struct Job {
     const tgen::TestTemplate* tmpl = nullptr;
     std::size_t count = 0;
     std::uint64_t seed_root = 0;
+    std::size_t tag = 0;
   };
 
   /// Runs all jobs (interleaved across the pool); results are returned

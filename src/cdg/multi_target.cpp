@@ -63,7 +63,10 @@ MultiTargetResult run_multi_target(
                            result.sampling.combined};
 
     CdgObjective objective(duv, farm, skeleton, target,
-                           config.opt_sims_per_point);
+                           config.opt_sims_per_point,
+                           EvalCacheConfig{.enabled = config.eval_cache,
+                                           .capacity = 1024},
+                           config.trace);
     opt::ImplicitFilteringOptions if_options;
     if_options.directions = config.opt_directions;
     if_options.initial_step = config.opt_initial_step;
@@ -78,6 +81,8 @@ MultiTargetResult run_multi_target(
         objective, flow.sampling.best().point, if_options);
     flow.optimization_phase = {"Optimization phase", objective.simulations(),
                                objective.combined()};
+    flow.eval_cache_hits = objective.cache_hits();
+    flow.eval_cache_misses = objective.cache_misses();
 
     flow.best_template = skeleton.instantiate(
         seed_template.name() + "_cdg_best_t" + std::to_string(t),

@@ -1,5 +1,6 @@
 #include "cdg/random_sample.hpp"
 
+#include "cdg/cdg_objective.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -20,37 +21,37 @@ RandomSampleResult random_sample(const duv::Duv& duv, batch::SimFarm& farm,
   util::Xoshiro256 rng(options.seed);
   util::SeedStream job_seeds(options.seed ^ 0x5A3B1E5EEDULL);
 
-  // Generate the n random templates up front, then batch them through
-  // the farm in one run_all so the pool stays saturated.
-  std::vector<std::vector<double>> points(options.templates);
-  std::vector<tgen::TestTemplate> templates;
-  templates.reserve(options.templates);
+  // Generate the n random points up front, then evaluate them through
+  // the CdgObjective batch path: one farm dispatch covers the whole
+  // phase, and the objective's bookkeeping (per-point stats, combined
+  // coverage, simulation count) replaces the bespoke job assembly this
+  // phase used to carry. The cache is irrelevant here (every point is
+  // fresh), so it is left disabled.
+  std::vector<opt::Point> points(options.templates);
+  std::vector<std::uint64_t> seeds(options.templates);
   for (std::size_t t = 0; t < options.templates; ++t) {
     points[t].resize(dim);
     for (double& w : points[t]) w = rng.uniform();
-    templates.push_back(skeleton.instantiate(
-        skeleton.name() + "_rand" + std::to_string(t), points[t]));
+    seeds[t] = job_seeds.next();
   }
 
-  std::vector<batch::SimFarm::Job> jobs;
-  jobs.reserve(options.templates);
-  for (std::size_t t = 0; t < options.templates; ++t) {
-    jobs.push_back({&templates[t], options.sims_per_template, job_seeds.next()});
-  }
-  auto stats = farm.run_all(duv, jobs);
+  CdgObjective objective(duv, farm, skeleton, target,
+                         options.sims_per_template,
+                         EvalCacheConfig{.enabled = false, .capacity = 0},
+                         nullptr, "rand");
+  auto evals = objective.evaluate_batch_full(points, seeds);
 
   RandomSampleResult result;
-  result.combined = coverage::SimStats(duv.space().size());
+  result.combined = objective.combined();
   result.samples.reserve(options.templates);
   for (std::size_t t = 0; t < options.templates; ++t) {
-    const double value = target.value(stats[t]);
-    result.combined.merge(stats[t]);
-    result.samples.push_back({std::move(points[t]), std::move(stats[t]), value});
-    if (value > result.samples[result.best_index].target_value) {
+    result.samples.push_back({std::move(points[t]), std::move(evals[t].stats),
+                              evals[t].value});
+    if (evals[t].value > result.samples[result.best_index].target_value) {
       result.best_index = t;
     }
   }
-  result.simulations = options.templates * options.sims_per_template;
+  result.simulations = objective.simulations();
   return result;
 }
 

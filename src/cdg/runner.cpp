@@ -207,8 +207,11 @@ FlowResult CdgRunner::run_from_template(
   // --- Optimization phase (§IV-E) ----------------------------------------
   const auto optimization_start = Clock::now();
   obs::Span opt_span = obs::make_span(config_.trace, "optimization");
+  const EvalCacheConfig cache_config{.enabled = config_.eval_cache,
+                                     .capacity = 1024};
   CdgObjective objective(*duv_, *farm_, result.skeleton, target,
-                         config_.opt_sims_per_point);
+                         config_.opt_sims_per_point, cache_config,
+                         config_.trace);
   opt::ImplicitFilteringOptions if_options;
   if_options.directions = config_.opt_directions;
   if_options.initial_step = config_.opt_initial_step;
@@ -225,6 +228,8 @@ FlowResult CdgRunner::run_from_template(
       objective, result.sampling.best().point, if_options);
   result.optimization_phase = {"Optimization phase", objective.simulations(),
                                objective.combined()};
+  result.eval_cache_hits = objective.cache_hits();
+  result.eval_cache_misses = objective.cache_misses();
   util::log_info("optimization: ", result.optimization.trace.size(),
                  " iterations, best value ", result.optimization.best_value,
                  " (", to_string(result.optimization.reason), ")");
@@ -250,7 +255,8 @@ FlowResult CdgRunner::run_from_template(
       const neighbors::ApproximatedTarget real_target(target.targets(),
                                                       std::move(raw));
       CdgObjective refine_objective(*duv_, *farm_, result.skeleton,
-                                    real_target, config_.opt_sims_per_point);
+                                    real_target, config_.opt_sims_per_point,
+                                    cache_config, config_.trace);
       if_options.max_iterations = config_.refine_max_iterations;
       if_options.seed = config_.seed ^ 0x5EF15EEDULL;
       if_options.trace_label = "refinement";
@@ -258,6 +264,8 @@ FlowResult CdgRunner::run_from_template(
           opt::implicit_filtering(refine_objective, best_point, if_options);
       result.optimization_phase.sims += refine_objective.simulations();
       result.optimization_phase.stats.merge(refine_objective.combined());
+      result.eval_cache_hits += refine_objective.cache_hits();
+      result.eval_cache_misses += refine_objective.cache_misses();
       if (result.refinement->best_value > evidence) {
         best_point = result.refinement->best_point;
       }

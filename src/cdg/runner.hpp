@@ -57,6 +57,11 @@ struct FlowConfig {
   double opt_min_step = 1e-3;
   bool opt_resample_center = true;
   std::optional<double> opt_target_value; ///< early-stop threshold
+  /// Seeded evaluation cache for the optimization/refinement
+  /// objectives: center resamples with a reused seed and revisited
+  /// stencil points skip resimulation (values are bit-identical either
+  /// way — only the simulation cost changes). CLI: --eval-cache=on|off.
+  bool eval_cache = true;
 
   // Approximated-target expansion (§IV-A / the "Friends" idea [16]):
   // before the flow starts, pull in events whose per-template hit
@@ -126,6 +131,10 @@ struct FlowResult {
   PhaseOutcome harvest_phase;
   /// One entry per real target event: the first flow phase that hit it.
   std::vector<FirstHit> first_hits;
+  /// Evaluation-cache traffic across the optimization (and refinement)
+  /// objectives — hits are evaluations that skipped resimulation.
+  std::size_t eval_cache_hits = 0;
+  std::size_t eval_cache_misses = 0;
 
   /// Simulations spent by the flow itself (excludes `before`).
   [[nodiscard]] std::size_t flow_sims() const noexcept {

@@ -18,6 +18,20 @@ std::vector<double> clamped(std::span<const double> x, double lo, double hi) {
   return out;
 }
 
+/// Batched dispatch shared by the baselines: draws one eval seed per
+/// point in point order (so trajectories are bit-identical to the
+/// scalar loop) and accounts the evaluations in `result`. Callers
+/// truncate the batch to the remaining budget *before* dispatch.
+std::vector<double> sample_batch(Objective& objective, OptResult& result,
+                                 util::SeedStream& eval_seeds,
+                                 std::span<const Point> points) {
+  std::vector<std::uint64_t> seeds(points.size());
+  for (auto& seed : seeds) seed = eval_seeds.next();
+  auto values = objective.evaluate_batch(points, seeds);
+  result.evaluations += points.size();
+  return values;
+}
+
 }  // namespace
 
 OptResult random_search(Objective& objective,
@@ -34,17 +48,24 @@ OptResult random_search(Objective& objective,
 
   OptResult result;
   result.best_value = -std::numeric_limits<double>::infinity();
-  std::vector<double> x(dim);
-  for (std::size_t s = 0; s < options.samples; ++s) {
+
+  // Thin wrapper over one batch call: draw every point up front, then
+  // dispatch the whole sample set through evaluate_batch at once.
+  std::vector<Point> points(options.samples);
+  for (auto& x : points) {
+    x.resize(dim);
     for (double& v : x) v = rng.uniform(options.lower, options.upper);
-    const double value = objective.evaluate(x, eval_seeds.next());
-    ++result.evaluations;
+  }
+  const std::vector<double> values =
+      sample_batch(objective, result, eval_seeds, points);
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    const double value = values[s];
     if (value > result.best_value) {
       result.best_value = value;
-      result.best_point = x;
+      result.best_point = points[s];
     }
     result.trace.push_back(
-        {s, value, result.best_value, 0.0, result.evaluations, value == result.best_value});
+        {s, value, result.best_value, 0.0, s + 1, value == result.best_value});
   }
   result.reason = StopReason::kMaxEvaluations;
   return result;
@@ -65,33 +86,41 @@ OptResult coordinate_search(Objective& objective, std::span<const double> x0,
   std::vector<double> center = clamped(x0, options.lower, options.upper);
   double h = options.initial_step;
 
-  const auto sample = [&](std::span<const double> x) {
-    const double v = objective.evaluate(x, eval_seeds.next());
-    ++result.evaluations;
-    return v;
-  };
-
-  double center_value = sample(center);
   result.best_point = center;
-  result.best_value = center_value;
   result.reason = StopReason::kMaxIterations;
+  if (options.max_evaluations == 0) {
+    result.reason = StopReason::kMaxEvaluations;
+    return result;
+  }
+  double center_value =
+      sample_batch(objective, result, eval_seeds, {&center, 1}).front();
+  result.best_value = center_value;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // The whole +-h*e_i stencil as one batch, truncated to the budget.
+    std::vector<Point> batch;
+    batch.reserve(2 * dim);
+    for (std::size_t axis = 0; axis < dim && batch.size() <
+         options.max_evaluations - result.evaluations; ++axis) {
+      for (const double sign : {1.0, -1.0}) {
+        if (batch.size() >= options.max_evaluations - result.evaluations) break;
+        Point candidate = center;
+        candidate[axis] =
+            std::clamp(candidate[axis] + sign * h, options.lower, options.upper);
+        batch.push_back(std::move(candidate));
+      }
+    }
+    const std::vector<double> values =
+        sample_batch(objective, result, eval_seeds, batch);
+
     double best = center_value;
     std::vector<double> next_center = center;
     bool moved = false;
-    for (std::size_t axis = 0; axis < dim; ++axis) {
-      for (const double sign : {1.0, -1.0}) {
-        if (result.evaluations >= options.max_evaluations) break;
-        std::vector<double> candidate = center;
-        candidate[axis] =
-            std::clamp(candidate[axis] + sign * h, options.lower, options.upper);
-        const double value = sample(candidate);
-        if (value > best) {
-          best = value;
-          next_center = std::move(candidate);
-          moved = true;
-        }
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      if (values[k] > best) {
+        best = values[k];
+        next_center = batch[k];
+        moved = true;
       }
     }
     result.trace.push_back({iter, center_value, best, h, result.evaluations, moved});
@@ -129,16 +158,20 @@ OptResult nelder_mead(Objective& objective, std::span<const double> x0,
   util::SeedStream eval_seeds(options.seed ^ 0x7E15EEDULL);
 
   OptResult result;
+  const auto remaining = [&]() {
+    return options.max_evaluations - result.evaluations;
+  };
   const auto sample = [&](std::span<const double> x) {
-    const double v = objective.evaluate(x, eval_seeds.next());
-    ++result.evaluations;
-    return v;
+    const Point point(x.begin(), x.end());
+    return sample_batch(objective, result, eval_seeds, {&point, 1}).front();
   };
   const auto clamp_point = [&](std::vector<double>& x) {
     for (double& v : x) v = std::clamp(v, options.lower, options.upper);
   };
 
-  // Initial simplex: x0 plus one offset vertex per axis.
+  // Initial simplex: x0 plus one offset vertex per axis, evaluated as
+  // one batch (truncated to the budget — a budget smaller than the
+  // simplex returns the best of the evaluated vertices).
   std::vector<std::vector<double>> simplex;
   std::vector<double> values;
   simplex.reserve(dim + 1);
@@ -149,8 +182,22 @@ OptResult nelder_mead(Objective& objective, std::span<const double> x0,
     clamp_point(vertex);
     simplex.push_back(std::move(vertex));
   }
-  values.reserve(dim + 1);
-  for (const auto& vertex : simplex) values.push_back(sample(vertex));
+  if (remaining() < simplex.size()) {
+    const std::span<const Point> head(simplex.data(), remaining());
+    const std::vector<double> head_values =
+        sample_batch(objective, result, eval_seeds, head);
+    result.best_value = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < head_values.size(); ++i) {
+      if (head_values[i] > result.best_value) {
+        result.best_value = head_values[i];
+        result.best_point = simplex[i];
+      }
+    }
+    if (result.best_point.empty()) result.best_point = simplex.front();
+    result.reason = StopReason::kMaxEvaluations;
+    return result;
+  }
+  values = sample_batch(objective, result, eval_seeds, simplex);
 
   constexpr double kAlpha = 1.0;  // reflection
   constexpr double kGamma = 2.0;  // expansion
@@ -212,6 +259,12 @@ OptResult nelder_mead(Objective& objective, std::span<const double> x0,
       continue;
     }
     if (reflected_value > values[best_i]) {
+      if (remaining() == 0) {
+        simplex[worst_i] = std::move(reflected);
+        values[worst_i] = reflected_value;
+        result.reason = StopReason::kMaxEvaluations;
+        break;
+      }
       auto expanded = affine(kGamma);
       const double expanded_value = sample(expanded);
       if (expanded_value > reflected_value) {
@@ -223,6 +276,10 @@ OptResult nelder_mead(Objective& objective, std::span<const double> x0,
       }
       continue;
     }
+    if (remaining() == 0) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
+    }
     auto contracted = affine(-kRho);
     const double contracted_value = sample(contracted);
     if (contracted_value > values[worst_i]) {
@@ -230,14 +287,32 @@ OptResult nelder_mead(Objective& objective, std::span<const double> x0,
       values[worst_i] = contracted_value;
       continue;
     }
-    // Shrink toward the best vertex.
+    // Shrink toward the best vertex, re-evaluating the moved vertices
+    // as one batch (truncated to the budget; a truncated shrink stops
+    // the run with the vertices evaluated so far).
+    std::vector<std::size_t> shrunk;
+    shrunk.reserve(order.size() - 1);
+    std::vector<Point> shrink_batch;
+    shrink_batch.reserve(order.size() - 1);
     for (const std::size_t i : order) {
       if (i == best_i) continue;
       for (std::size_t d = 0; d < dim; ++d) {
         simplex[i][d] =
             simplex[best_i][d] + kSigma * (simplex[i][d] - simplex[best_i][d]);
       }
-      values[i] = sample(simplex[i]);
+      if (shrink_batch.size() < remaining()) {
+        shrunk.push_back(i);
+        shrink_batch.push_back(simplex[i]);
+      }
+    }
+    const std::vector<double> shrink_values =
+        sample_batch(objective, result, eval_seeds, shrink_batch);
+    for (std::size_t k = 0; k < shrunk.size(); ++k) {
+      values[shrunk[k]] = shrink_values[k];
+    }
+    if (shrunk.size() + 1 < order.size()) {
+      result.reason = StopReason::kMaxEvaluations;
+      break;
     }
   }
 
@@ -269,12 +344,6 @@ OptResult cross_entropy(Objective& objective, std::span<const double> x0,
   util::SeedStream eval_seeds(options.seed ^ 0xCE5EEDULL);
 
   OptResult result;
-  const auto sample = [&](std::span<const double> x) {
-    const double v = objective.evaluate(x, eval_seeds.next());
-    ++result.evaluations;
-    return v;
-  };
-
   std::vector<double> mean = clamped(x0, options.lower, options.upper);
   std::vector<double> stddev(dim, options.initial_stddev);
   result.best_value = -std::numeric_limits<double>::infinity();
@@ -287,24 +356,31 @@ OptResult cross_entropy(Objective& objective, std::span<const double> x0,
   std::vector<Individual> population(options.population);
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    bool truncated = false;
-    for (auto& individual : population) {
-      individual.x.resize(dim);
+    // Generate the generation (truncated to the budget), then evaluate
+    // the whole population in one batch.
+    const std::size_t generated =
+        std::min(options.population,
+                 options.max_evaluations - result.evaluations);
+    std::vector<Point> batch(generated);
+    for (auto& x : batch) {
+      x.resize(dim);
       for (std::size_t d = 0; d < dim; ++d) {
-        individual.x[d] = std::clamp(mean[d] + stddev[d] * rng.normal(),
-                                     options.lower, options.upper);
-      }
-      individual.value = sample(individual.x);
-      if (individual.value > result.best_value) {
-        result.best_value = individual.value;
-        result.best_point = individual.x;
-      }
-      if (result.evaluations >= options.max_evaluations) {
-        truncated = true;
-        break;
+        x[d] = std::clamp(mean[d] + stddev[d] * rng.normal(),
+                          options.lower, options.upper);
       }
     }
-    if (truncated) {
+    const std::vector<double> values =
+        sample_batch(objective, result, eval_seeds, batch);
+    for (std::size_t i = 0; i < generated; ++i) {
+      population[i].x = std::move(batch[i]);
+      population[i].value = values[i];
+      if (values[i] > result.best_value) {
+        result.best_value = values[i];
+        result.best_point = population[i].x;
+      }
+    }
+    if (generated < options.population ||
+        result.evaluations >= options.max_evaluations) {
       // An incomplete generation must not refit the distribution.
       result.reason = StopReason::kMaxEvaluations;
       break;
@@ -374,8 +450,12 @@ OptResult simulated_annealing(Objective& objective, std::span<const double> x0,
   };
 
   std::vector<double> current = clamped(x0, options.lower, options.upper);
-  double current_value = sample(current);
   result.best_point = current;
+  if (options.max_evaluations == 0) {
+    result.reason = StopReason::kMaxEvaluations;
+    return result;
+  }
+  double current_value = sample(current);
   result.best_value = current_value;
   double temperature = options.initial_temperature;
 

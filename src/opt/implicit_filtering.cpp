@@ -106,18 +106,30 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
   std::vector<double> center = clamped(x0, options.lower, options.upper);
   double h = options.initial_step;
 
+  // All evaluations go through one batched dispatch: eval seeds are
+  // drawn sequentially in point order, so the trajectory is identical
+  // whether the objective implements evaluate_batch natively or falls
+  // back to the scalar loop. Batches are truncated to the remaining
+  // budget before dispatch, so `evaluations` never exceeds
+  // max_evaluations and OptResult reports the exact count.
   std::size_t evaluations = 0;
-  const auto sample = [&](std::span<const double> x) {
-    const double value = objective.evaluate(x, eval_seeds.next());
-    ++evaluations;
-    m_evaluations.inc();
-    return value;
+  const auto sample_batch = [&](std::span<const Point> points) {
+    std::vector<std::uint64_t> seeds(points.size());
+    for (auto& seed : seeds) seed = eval_seeds.next();
+    auto values = objective.evaluate_batch(points, seeds);
+    evaluations += points.size();
+    m_evaluations.add(points.size());
+    return values;
   };
 
-  double center_value = sample(center);
   result.best_point = center;
-  result.best_value = center_value;
   result.reason = StopReason::kMaxIterations;
+  if (options.max_evaluations == 0) {
+    result.reason = StopReason::kMaxEvaluations;
+    return result;
+  }
+  double center_value = sample_batch({&center, 1}).front();
+  result.best_value = center_value;
   std::size_t stale_rounds = 0;
 
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
@@ -125,10 +137,35 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
       result.reason = StopReason::kMaxEvaluations;
       break;
     }
-    // Center resampling (noise modification #2).
+    // Assemble the iteration's whole batch: the resampled center (noise
+    // modification #2) followed by the stencil, truncated to the budget.
+    const bool resample = options.resample_center && iter > 0;
+    std::size_t budget = options.max_evaluations - evaluations;
+    std::vector<Point> batch;
+    batch.reserve(std::min(options.directions, budget) + 1);
+    if (resample) {
+      batch.push_back(center);
+      --budget;
+    }
+    const std::size_t n_dirs = std::min(options.directions, budget);
+    for (std::size_t d = 0; d < n_dirs; ++d) {
+      const auto direction =
+          make_direction(options.direction_mode,
+                         iter * options.directions + d, dim, rng);
+      Point candidate(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        candidate[i] =
+            std::clamp(center[i] + h * direction[i], options.lower, options.upper);
+      }
+      batch.push_back(std::move(candidate));
+    }
+    const std::vector<double> values = sample_batch(batch);
+
     std::size_t resamples = 0;
-    if (options.resample_center && iter > 0) {
-      center_value = sample(center);
+    std::size_t first_candidate = 0;
+    if (resample) {
+      center_value = values[0];
+      first_candidate = 1;
       resamples = 1;
       m_resamples.inc();
     }
@@ -136,21 +173,10 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
     double best = center_value;
     std::vector<double> next_center = center;
     bool moved = false;
-
-    for (std::size_t d = 0; d < options.directions; ++d) {
-      if (evaluations >= options.max_evaluations) break;
-      const auto direction =
-          make_direction(options.direction_mode,
-                         iter * options.directions + d, dim, rng);
-      std::vector<double> candidate(dim);
-      for (std::size_t i = 0; i < dim; ++i) {
-        candidate[i] =
-            std::clamp(center[i] + h * direction[i], options.lower, options.upper);
-      }
-      const double value = sample(candidate);
-      if (value > best) {
-        best = value;
-        next_center = std::move(candidate);
+    for (std::size_t k = first_candidate; k < values.size(); ++k) {
+      if (values[k] > best) {
+        best = values[k];
+        next_center = batch[k];
         moved = true;
       }
     }

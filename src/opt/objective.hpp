@@ -13,6 +13,9 @@
 
 namespace ascdg::opt {
 
+/// A point in the optimizer's box, one coordinate per dimension.
+using Point = std::vector<double>;
+
 class Objective {
  public:
   virtual ~Objective() = default;
@@ -26,6 +29,25 @@ class Objective {
   /// same value (this keeps whole optimization runs reproducible).
   [[nodiscard]] virtual double evaluate(std::span<const double> x,
                                         std::uint64_t eval_seed) = 0;
+
+  /// Batched evaluation: one noisy sample per (xs[i], seeds[i]), values
+  /// returned in point order. Optimizers dispatch whole stencils /
+  /// populations through this so objectives backed by a simulation farm
+  /// can keep every worker busy across the batch. The contract matches
+  /// evaluate() point-wise: evaluate_batch(xs, seeds)[i] must equal
+  /// evaluate(xs[i], seeds[i]) called in the same objective state, and
+  /// side effects (evaluation counters, best tracking) must accumulate
+  /// in point order — so a native override is observationally identical
+  /// to this default scalar loop. Requires xs.size() == seeds.size().
+  [[nodiscard]] virtual std::vector<double> evaluate_batch(
+      std::span<const Point> xs, std::span<const std::uint64_t> seeds) {
+    std::vector<double> values;
+    values.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      values.push_back(evaluate(xs[i], seeds[i]));
+    }
+    return values;
+  }
 };
 
 /// Why an optimizer stopped.

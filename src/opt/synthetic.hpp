@@ -116,7 +116,9 @@ class TwoPeaks final : public Objective {
 };
 
 /// Decorator that counts evaluations of an inner objective (for budget
-/// assertions in tests and benches).
+/// assertions in tests and benches). Batched dispatch passes through to
+/// the inner objective's evaluate_batch, so a native batch
+/// implementation keeps working underneath the counter.
 class CountingObjective final : public Objective {
  public:
   explicit CountingObjective(Objective& inner) noexcept : inner_(&inner) {}
@@ -128,11 +130,77 @@ class CountingObjective final : public Objective {
     ++count_;
     return inner_->evaluate(x, eval_seed);
   }
+  [[nodiscard]] std::vector<double> evaluate_batch(
+      std::span<const Point> xs,
+      std::span<const std::uint64_t> seeds) override {
+    count_ += xs.size();
+    return inner_->evaluate_batch(xs, seeds);
+  }
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
  private:
   Objective* inner_;
   std::size_t count_ = 0;
+};
+
+/// Decorator that forces the *scalar* dispatch path: it inherits the
+/// default evaluate_batch (a loop over scalar evaluate), hiding any
+/// native batch implementation of the inner objective. The reference
+/// side of batch-vs-scalar equivalence tests and benches.
+class ScalarizedObjective final : public Objective {
+ public:
+  explicit ScalarizedObjective(Objective& inner) noexcept : inner_(&inner) {}
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override {
+    return inner_->evaluate(x, eval_seed);
+  }
+
+ private:
+  Objective* inner_;
+};
+
+/// Decorator with a hand-written native evaluate_batch (point loop over
+/// the inner objective) that records every dispatched batch size — lets
+/// tests assert both that optimizers really batch whole stencils and
+/// that a native override reproduces the default path bit-for-bit.
+class BatchRecordingObjective final : public Objective {
+ public:
+  explicit BatchRecordingObjective(Objective& inner) noexcept
+      : inner_(&inner) {}
+  [[nodiscard]] std::size_t dimension() const noexcept override {
+    return inner_->dimension();
+  }
+  [[nodiscard]] double evaluate(std::span<const double> x,
+                                std::uint64_t eval_seed) override {
+    batch_sizes_.push_back(1);
+    return inner_->evaluate(x, eval_seed);
+  }
+  [[nodiscard]] std::vector<double> evaluate_batch(
+      std::span<const Point> xs,
+      std::span<const std::uint64_t> seeds) override {
+    batch_sizes_.push_back(xs.size());
+    std::vector<double> values;
+    values.reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      values.push_back(inner_->evaluate(xs[i], seeds[i]));
+    }
+    return values;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& batch_sizes() const noexcept {
+    return batch_sizes_;
+  }
+  [[nodiscard]] std::size_t max_batch_size() const noexcept {
+    std::size_t max = 0;
+    for (const std::size_t n : batch_sizes_) max = std::max(max, n);
+    return max;
+  }
+
+ private:
+  Objective* inner_;
+  std::vector<std::size_t> batch_sizes_;
 };
 
 }  // namespace ascdg::opt

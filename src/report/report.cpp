@@ -299,6 +299,20 @@ void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
   render_trace(os, flow.optimization);
   os << "```\n";
 
+  // Evaluation-cache ablation data: how many optimizer evaluations were
+  // answered from the seeded cache instead of resimulating.
+  if (const std::size_t total = flow.eval_cache_hits + flow.eval_cache_misses;
+      total != 0) {
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.1f%%",
+                  100.0 * static_cast<double>(flow.eval_cache_hits) /
+                      static_cast<double>(total));
+    os << "\nEvaluation cache: " << flow.eval_cache_hits << " hits / "
+       << flow.eval_cache_misses << " misses (" << rate
+       << " hit rate" << (flow.eval_cache_hits == 0 ? "; cache off or cold" : "")
+       << ").\n";
+  }
+
   if (flow.first_hits.empty()) return;
 
   // Coverage progress: how many target events each phase closed.
@@ -394,6 +408,8 @@ void write_metrics_json(const std::filesystem::path& path,
   document.add("schema", "ascdg-run-metrics-v1")
       .add("seed_template", flow.seed_template)
       .add("flow_sims", flow.flow_sims())
+      .add("eval_cache_hits", flow.eval_cache_hits)
+      .add("eval_cache_misses", flow.eval_cache_misses)
       .add_raw("opt_series", series_json(flow.optimization));
   if (flow.refinement.has_value()) {
     document.add_raw("refine_series", series_json(*flow.refinement));

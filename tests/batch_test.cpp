@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "batch/sim_farm.hpp"
+#include "cdg/cdg_objective.hpp"
+#include "cdg/skeletonizer.hpp"
 #include "duv/io_unit.hpp"
 #include "duv/l3_cache.hpp"
+#include "neighbors/neighbors.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -394,6 +397,54 @@ TEST(SimFarmV2, QueueDepthGaugeIsConsistentUnderConcurrentRuns) {
   EXPECT_GE(snap.max_queue_depth, 1u);
   EXPECT_LE(snap.max_queue_depth, snap.enqueued);
   EXPECT_EQ(snap.simulations, kCallers * 5u * 8u * 16u);
+}
+
+// Batched objective evaluation through the shared farm, under TSan in
+// CI: several optimizer threads, each with its own CdgObjective,
+// dispatch whole stencils as single run_all calls against one pool.
+// The farm is the only shared state; results must match a lone caller.
+TEST(SimFarmV2, ConcurrentBatchedEvaluationsAreRaceFreeAndDeterministic) {
+  const duv::IoUnit io;
+  tgen::TestTemplate seed_tmpl;
+  for (const auto& tmpl : io.suite()) {
+    if (tmpl.name() == "io_crc_smoke") seed_tmpl = tmpl;
+  }
+  ASSERT_FALSE(seed_tmpl.name().empty());
+  const tgen::Skeleton skeleton =
+      cdg::Skeletonizer().skeletonize(seed_tmpl);
+  const coverage::SimStats none(io.space().size());
+  const neighbors::ApproximatedTarget target =
+      neighbors::family_target(io.space(), "crc", none);
+
+  const std::size_t dim = skeleton.mark_count();
+  std::vector<opt::Point> xs;
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 12; ++i) {
+    xs.emplace_back(dim, 0.05 * static_cast<double>(i + 1));
+    seeds.push_back(5000 + i);
+  }
+
+  SimFarm farm(4);
+  // Reference: a single caller evaluating the same batch.
+  cdg::CdgObjective reference(io, farm, skeleton, target, 20);
+  const std::vector<double> expected = reference.evaluate_batch(xs, seeds);
+
+  constexpr std::size_t kCallers = 4;
+  std::vector<std::vector<double>> got(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      cdg::CdgObjective objective(io, farm, skeleton, target, 20);
+      for (int round = 0; round < 3; ++round) {
+        got[t] = objective.evaluate_batch(xs, seeds);
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (std::size_t t = 0; t < kCallers; ++t) {
+    EXPECT_EQ(got[t], expected) << "caller " << t;
+  }
 }
 
 TEST(SimFarmV2, ExceptionInOneJobOfManyRetiresTheWholeCall) {

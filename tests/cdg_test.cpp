@@ -17,6 +17,9 @@
 #include "duv/io_unit.hpp"
 #include "neighbors/neighbors.hpp"
 #include "obs/trace.hpp"
+#include "opt/baselines.hpp"
+#include "opt/implicit_filtering.hpp"
+#include "opt/synthetic.hpp"
 #include "tgen/parser.hpp"
 #include "util/error.hpp"
 
@@ -241,6 +244,258 @@ TEST_F(CdgObjectiveTest, ZeroSimsThrows) {
   EXPECT_THROW(CdgObjective(io_, farm_, skel, target, 0), ConfigError);
 }
 
+// ------------------------------------------------------ batched dispatch --
+
+TEST_F(CdgObjectiveTest, BatchMatchesScalarEvaluationBitIdentical) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective scalar(io_, farm_, skel, target, 30);
+  CdgObjective batched(io_, farm_, skel, target, 30);
+
+  std::vector<opt::Point> xs;
+  for (const double w : {0.1, 0.4, 0.7, 1.0}) {
+    xs.emplace_back(skel.mark_count(), w);
+  }
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+  std::vector<double> scalar_values;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    scalar_values.push_back(scalar.evaluate(xs[i], seeds[i]));
+  }
+  const auto batch_values = batched.evaluate_batch(xs, seeds);
+  EXPECT_EQ(batch_values, scalar_values);
+  EXPECT_EQ(batched.simulations(), scalar.simulations());
+  EXPECT_EQ(batched.combined(), scalar.combined());
+  EXPECT_EQ(batched.best_value(), scalar.best_value());
+  EXPECT_EQ(batched.best_point(), scalar.best_point());
+}
+
+TEST_F(CdgObjectiveTest, BatchResultsIndependentOfWorkerCount) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  batch::SimFarm farm1(1);
+  batch::SimFarm farm8(8);
+  CdgObjective obj1(io_, farm1, skel, target, 25);
+  CdgObjective obj8(io_, farm8, skel, target, 25);
+
+  std::vector<opt::Point> xs;
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 9; ++i) {
+    xs.emplace_back(skel.mark_count(), 0.1 * static_cast<double>(i + 1));
+    seeds.push_back(100 + i);
+  }
+  EXPECT_EQ(obj1.evaluate_batch(xs, seeds), obj8.evaluate_batch(xs, seeds));
+  EXPECT_EQ(obj1.simulations(), obj8.simulations());
+  EXPECT_EQ(obj1.combined(), obj8.combined());
+}
+
+TEST_F(CdgObjectiveTest, MismatchedBatchSpansThrow) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective objective(io_, farm_, skel, target, 10);
+  const std::vector<opt::Point> xs{opt::Point(skel.mark_count(), 0.5)};
+  const std::vector<std::uint64_t> seeds{1, 2};
+  EXPECT_THROW((void)objective.evaluate_batch(xs, seeds), ConfigError);
+  const std::vector<opt::Point> bad_dim{opt::Point(skel.mark_count() + 1, 0.5)};
+  const std::vector<std::uint64_t> one_seed{1};
+  EXPECT_THROW((void)objective.evaluate_batch(bad_dim, one_seed), ConfigError);
+}
+
+// ------------------------------------------------------- evaluation cache --
+
+TEST_F(CdgObjectiveTest, CacheHitSkipsSimulationAndRepeatsValue) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective objective(io_, farm_, skel, target, 40);
+  const std::vector<double> x(skel.mark_count(), 0.5);
+
+  const double v1 = objective.evaluate(x, 9);
+  EXPECT_EQ(objective.simulations(), 40u);
+  EXPECT_EQ(objective.cache_misses(), 1u);
+  EXPECT_EQ(objective.cache_hits(), 0u);
+
+  const double v2 = objective.evaluate(x, 9);  // same (point, seed)
+  EXPECT_EQ(v2, v1);
+  EXPECT_EQ(objective.simulations(), 40u);  // no resimulation
+  EXPECT_EQ(objective.cache_hits(), 1u);
+  // The hit still merges its stats: combined coverage matches a
+  // cache-free run of the same evaluation sequence.
+  EXPECT_EQ(objective.combined().sims(), 80u);
+
+  const double v3 = objective.evaluate(x, 10);  // new seed -> miss
+  (void)v3;
+  EXPECT_EQ(objective.simulations(), 80u);
+  EXPECT_EQ(objective.cache_misses(), 2u);
+}
+
+TEST_F(CdgObjectiveTest, CacheOffResimulatesButValuesStillAgree) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective objective(io_, farm_, skel, target, 40,
+                         EvalCacheConfig{.enabled = false, .capacity = 0});
+  const std::vector<double> x(skel.mark_count(), 0.5);
+  const double v1 = objective.evaluate(x, 9);
+  const double v2 = objective.evaluate(x, 9);
+  EXPECT_EQ(v1, v2);  // determinism comes from the seed, not the cache
+  EXPECT_EQ(objective.simulations(), 80u);
+  EXPECT_EQ(objective.cache_hits(), 0u);
+  EXPECT_EQ(objective.cache_misses(), 0u);
+}
+
+TEST_F(CdgObjectiveTest, DuplicatePairInOneBatchSimulatesOnce) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective objective(io_, farm_, skel, target, 40);
+  const opt::Point x(skel.mark_count(), 0.5);
+  const std::vector<opt::Point> xs{x, x};
+  const std::vector<std::uint64_t> seeds{7, 7};
+  const auto values = objective.evaluate_batch(xs, seeds);
+  EXPECT_EQ(values[0], values[1]);
+  EXPECT_EQ(objective.simulations(), 40u);  // one farm job for the pair
+  EXPECT_EQ(objective.cache_misses(), 1u);
+  EXPECT_EQ(objective.cache_hits(), 1u);
+  // Both evaluations still count toward combined coverage.
+  EXPECT_EQ(objective.combined().sims(), 80u);
+}
+
+TEST_F(CdgObjectiveTest, CacheEvictsLeastRecentlyUsed) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective objective(io_, farm_, skel, target, 20,
+                         EvalCacheConfig{.enabled = true, .capacity = 1});
+  const std::vector<double> a(skel.mark_count(), 0.2);
+  const std::vector<double> b(skel.mark_count(), 0.8);
+  (void)objective.evaluate(a, 1);  // miss, cached
+  (void)objective.evaluate(a, 1);  // hit: resident
+  (void)objective.evaluate(b, 2);  // miss, evicts (a, 1)
+  (void)objective.evaluate(b, 2);  // hit: resident
+  (void)objective.evaluate(a, 1);  // miss again: was evicted
+  EXPECT_EQ(objective.cache_misses(), 3u);
+  EXPECT_EQ(objective.cache_hits(), 2u);
+  EXPECT_EQ(objective.simulations(), 60u);
+}
+
+// Regression: each objective instance must emit globally unique template
+// names. Two objectives over the same skeleton used to both name their
+// probes "<skeleton>_probe<ordinal>", colliding in shared telemetry and
+// coverage-by-template attribution.
+TEST_F(CdgObjectiveTest, ProbeNamePrefixUniquePerObjective) {
+  const auto skel = crc_skeleton();
+  const auto target = crc_target();
+  CdgObjective a(io_, farm_, skel, target, 10);
+  CdgObjective b(io_, farm_, skel, target, 10);
+  EXPECT_NE(a.probe_prefix(), b.probe_prefix());
+  EXPECT_TRUE(a.probe_prefix().starts_with(skel.name()));
+  EXPECT_TRUE(b.probe_prefix().starts_with(skel.name()));
+}
+
+// ------------------------------------- optimizer x dispatch equivalence --
+//
+// Satellite guarantee of the batched-evaluation protocol: for every
+// optimizer, running against the native batched CdgObjective and against
+// a scalarized wrapper (default scalar evaluate loop) yields the same
+// OptResult bit for bit, at one worker and at eight.
+
+void expect_same_opt_result(const opt::OptResult& a, const opt::OptResult& b) {
+  EXPECT_EQ(a.best_point, b.best_point);
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.reason, b.reason);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].center_value, b.trace[i].center_value);
+    EXPECT_EQ(a.trace[i].best_value, b.trace[i].best_value);
+    EXPECT_EQ(a.trace[i].evaluations, b.trace[i].evaluations);
+    EXPECT_EQ(a.trace[i].moved, b.trace[i].moved);
+  }
+}
+
+class CdgDispatchEquivalence : public CdgObjectiveTest {
+ protected:
+  // Runs `run` against the native batch path and the scalarized path on
+  // farms of 1 and 8 workers; all four OptResults must be identical.
+  template <typename Run>
+  void check(Run run) {
+    const auto skel = crc_skeleton();
+    const auto target = crc_target();
+    std::vector<opt::OptResult> results;
+    std::vector<std::size_t> sims;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
+      batch::SimFarm farm(workers);
+      CdgObjective native(io_, farm, skel, target, 20);
+      results.push_back(run(native, skel.mark_count()));
+      sims.push_back(native.simulations());
+
+      CdgObjective inner(io_, farm, skel, target, 20);
+      opt::ScalarizedObjective scalar(inner);
+      results.push_back(run(scalar, skel.mark_count()));
+      sims.push_back(inner.simulations());
+    }
+    for (std::size_t i = 1; i < results.size(); ++i) {
+      expect_same_opt_result(results[0], results[i]);
+      EXPECT_EQ(sims[0], sims[i]);
+    }
+  }
+};
+
+TEST_F(CdgDispatchEquivalence, ImplicitFiltering) {
+  check([](opt::Objective& o, std::size_t dim) {
+    opt::ImplicitFilteringOptions options;
+    options.max_iterations = 4;
+    options.directions = 6;
+    options.seed = 301;
+    return opt::implicit_filtering(o, std::vector<double>(dim, 0.5), options);
+  });
+}
+
+TEST_F(CdgDispatchEquivalence, RandomSearch) {
+  check([](opt::Objective& o, std::size_t) {
+    opt::RandomSearchOptions options;
+    options.samples = 24;
+    options.seed = 303;
+    return opt::random_search(o, options);
+  });
+}
+
+TEST_F(CdgDispatchEquivalence, CoordinateSearch) {
+  check([](opt::Objective& o, std::size_t dim) {
+    opt::CoordinateSearchOptions options;
+    options.max_iterations = 4;
+    options.seed = 307;
+    return opt::coordinate_search(o, std::vector<double>(dim, 0.5), options);
+  });
+}
+
+TEST_F(CdgDispatchEquivalence, NelderMead) {
+  check([](opt::Objective& o, std::size_t dim) {
+    opt::NelderMeadOptions options;
+    options.max_iterations = 8;
+    options.tolerance = 1e-12;
+    options.max_evaluations = 30;
+    options.seed = 311;
+    return opt::nelder_mead(o, std::vector<double>(dim, 0.4), options);
+  });
+}
+
+TEST_F(CdgDispatchEquivalence, CrossEntropy) {
+  check([](opt::Objective& o, std::size_t dim) {
+    opt::CrossEntropyOptions options;
+    options.population = 12;
+    options.elite = 3;
+    options.max_iterations = 3;
+    options.seed = 313;
+    return opt::cross_entropy(o, std::vector<double>(dim, 0.5), options);
+  });
+}
+
+TEST_F(CdgDispatchEquivalence, SimulatedAnnealing) {
+  check([](opt::Objective& o, std::size_t dim) {
+    opt::SimulatedAnnealingOptions options;
+    options.max_evaluations = 30;
+    options.seed = 317;
+    return opt::simulated_annealing(o, std::vector<double>(dim, 0.5), options);
+  });
+}
+
 // ---------------------------------------------------------- random sample --
 
 TEST_F(CdgObjectiveTest, RandomSampleShapes) {
@@ -400,6 +655,7 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   std::string line;
   std::size_t phase_lines = 0;
   std::size_t span_lines = 0;
+  std::size_t eval_batch_spans = 0;
   std::size_t opt_iter_lines = 0;
   std::size_t first_hit_lines = 0;
   std::size_t sims_total = 0;
@@ -415,7 +671,13 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
       sims_total += sims;
       EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos) << line;
     }
-    if (line.find("\"event\":\"span\"") != std::string::npos) ++span_lines;
+    if (line.find("\"event\":\"span\"") != std::string::npos) {
+      if (line.find("\"span\":\"eval_batch\"") != std::string::npos) {
+        ++eval_batch_spans;
+      } else {
+        ++span_lines;
+      }
+    }
     if (line.find("\"event\":\"opt_iter\"") != std::string::npos) {
       ++opt_iter_lines;
     }
@@ -433,10 +695,14 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   EXPECT_EQ(flow_end_lines, 1u);
   // flow + skeletonize + sampling + optimization + harvest.
   EXPECT_EQ(span_lines, 5u);
+  // One eval_batch span per optimizer dispatch: the initial center,
+  // then one whole-stencil batch per iteration.
+  EXPECT_EQ(eval_batch_spans, 1u + result.optimization.trace.size());
   EXPECT_EQ(opt_iter_lines, result.optimization.trace.size());
   EXPECT_EQ(first_hit_lines, target.targets().size());
   EXPECT_EQ(result.first_hits.size(), target.targets().size());
-  EXPECT_EQ(sink.lines(), 5u + span_lines + opt_iter_lines + first_hit_lines);
+  EXPECT_EQ(sink.lines(), 5u + span_lines + eval_batch_spans + opt_iter_lines +
+                              first_hit_lines);
 
   // The paper's cost metric must reconcile: per-phase sims sum to the
   // farm's books (the farm was fresh, so flow sims are all its sims).

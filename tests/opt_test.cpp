@@ -128,7 +128,7 @@ TEST(ImplicitFiltering, RespectsMaxEvaluations) {
   const std::vector<double> x0{0.0};
   const auto result = implicit_filtering(counting, x0, options);
   EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
-  EXPECT_LE(counting.count(), 37u);
+  EXPECT_EQ(counting.count(), 37u);  // exact: batches truncate to the budget
   EXPECT_EQ(result.evaluations, counting.count());
 }
 
@@ -491,7 +491,7 @@ TEST(CrossEntropy, RespectsEvaluationBudget) {
   options.min_stddev = 1e-12;
   const std::vector<double> x0{0.2, 0.2};
   const auto result = cross_entropy(counting, x0, options);
-  EXPECT_LE(counting.count(), 77u);
+  EXPECT_EQ(counting.count(), 77u);  // exact: batches truncate to the budget
   EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
 }
 
@@ -547,6 +547,209 @@ TEST(FlatLandscape, LocalSearchFindsNothingWithoutNeighbors) {
   const std::vector<double> x0{0.1, 0.1};
   const auto result = implicit_filtering(objective, x0, options);
   EXPECT_DOUBLE_EQ(result.best_value, 0.0);
+}
+
+// ----------------------------------------------------- batched dispatch --
+//
+// Every optimizer draws eval seeds in point order from a dedicated
+// stream, so whether the objective runs the default scalar loop or a
+// native evaluate_batch override must not change the trajectory at all:
+// the whole OptResult has to be bit-identical.
+
+void expect_same_result(const OptResult& a, const OptResult& b) {
+  EXPECT_EQ(a.best_point, b.best_point);
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.reason, b.reason);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration);
+    EXPECT_EQ(a.trace[i].center_value, b.trace[i].center_value);
+    EXPECT_EQ(a.trace[i].best_value, b.trace[i].best_value);
+    EXPECT_EQ(a.trace[i].step, b.trace[i].step);
+    EXPECT_EQ(a.trace[i].evaluations, b.trace[i].evaluations);
+    EXPECT_EQ(a.trace[i].moved, b.trace[i].moved);
+    EXPECT_EQ(a.trace[i].resamples, b.trace[i].resamples);
+    EXPECT_EQ(a.trace[i].halved, b.trace[i].halved);
+  }
+}
+
+// Runs the optimizer twice over identical Bernoulli landscapes — once
+// through the scalar dispatch path, once through a native batch override
+// that records dispatched batch sizes — and demands identical results
+// plus at least one batch of `min_batch` points (proof the optimizer
+// really hands whole stencils/populations to the objective).
+template <typename Run>
+void check_dispatch_equivalence(Run run, std::size_t min_batch) {
+  BernoulliHill scalar_inner({0.6, 0.4}, 0.7, 3.0, 40);
+  BernoulliHill batched_inner({0.6, 0.4}, 0.7, 3.0, 40);
+  ScalarizedObjective scalar(scalar_inner);
+  BatchRecordingObjective batched(batched_inner);
+  const OptResult a = run(scalar);
+  const OptResult b = run(batched);
+  expect_same_result(a, b);
+  EXPECT_EQ(scalar_inner.draws(), batched_inner.draws());
+  EXPECT_GE(batched.max_batch_size(), min_batch);
+}
+
+TEST(BatchDispatch, ImplicitFilteringScalarAndBatchedIdentical) {
+  ImplicitFilteringOptions options;
+  options.max_iterations = 12;
+  options.directions = 8;
+  options.seed = 101;
+  const std::vector<double> x0{0.2, 0.8};
+  check_dispatch_equivalence(
+      [&](Objective& o) { return implicit_filtering(o, x0, options); },
+      options.directions);
+}
+
+TEST(BatchDispatch, RandomSearchScalarAndBatchedIdentical) {
+  RandomSearchOptions options;
+  options.samples = 64;
+  options.seed = 103;
+  check_dispatch_equivalence(
+      [&](Objective& o) { return random_search(o, options); }, 64u);
+}
+
+TEST(BatchDispatch, CoordinateSearchScalarAndBatchedIdentical) {
+  CoordinateSearchOptions options;
+  options.max_iterations = 25;
+  options.seed = 107;
+  const std::vector<double> x0{0.2, 0.8};
+  check_dispatch_equivalence(
+      [&](Objective& o) { return coordinate_search(o, x0, options); },
+      4u);  // the full +-h stencil in 2-D
+}
+
+TEST(BatchDispatch, NelderMeadScalarAndBatchedIdentical) {
+  NelderMeadOptions options;
+  options.max_iterations = 40;
+  options.tolerance = 1e-12;
+  options.seed = 109;
+  const std::vector<double> x0{0.2, 0.8};
+  check_dispatch_equivalence(
+      [&](Objective& o) { return nelder_mead(o, x0, options); },
+      3u);  // the initial 2-D simplex
+}
+
+TEST(BatchDispatch, CrossEntropyScalarAndBatchedIdentical) {
+  CrossEntropyOptions options;
+  options.max_iterations = 10;
+  options.seed = 113;
+  const std::vector<double> x0{0.2, 0.8};
+  check_dispatch_equivalence(
+      [&](Objective& o) { return cross_entropy(o, x0, options); },
+      options.population);
+}
+
+TEST(BatchDispatch, SimulatedAnnealingScalarAndBatchedIdentical) {
+  // SA is inherently sequential (each proposal depends on the previous
+  // accept/reject), so it stays on the scalar path — but it must still
+  // be indifferent to which wrapper the objective sits behind.
+  SimulatedAnnealingOptions options;
+  options.max_evaluations = 200;
+  options.seed = 127;
+  const std::vector<double> x0{0.2, 0.8};
+  check_dispatch_equivalence(
+      [&](Objective& o) { return simulated_annealing(o, x0, options); }, 1u);
+}
+
+TEST(BatchDispatch, DefaultBatchMatchesScalarCallSequence) {
+  BernoulliHill via_batch({0.5, 0.5}, 0.6, 2.0, 30);
+  BernoulliHill via_scalar({0.5, 0.5}, 0.6, 2.0, 30);
+  const std::vector<Point> xs{{0.1, 0.2}, {0.3, 0.4}, {0.1, 0.2}};
+  const std::vector<std::uint64_t> seeds{11, 22, 11};
+  const std::vector<double> batched = via_batch.evaluate_batch(xs, seeds);
+  ASSERT_EQ(batched.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(batched[i], via_scalar.evaluate(xs[i], seeds[i]));
+  }
+  // Same (point, seed) pair -> same value, per the Objective contract.
+  EXPECT_EQ(batched[0], batched[2]);
+  EXPECT_EQ(via_batch.draws(), via_scalar.draws());
+}
+
+// Budget truncation is exact: batches are cut to the remaining budget
+// *before* dispatch, so runs never overshoot max_evaluations and stop
+// with exactly the configured count.
+
+TEST(BatchDispatch, CoordinateSearchHitsBudgetExactly) {
+  NoisyQuadratic objective({0.4, 0.6}, 0.05);
+  CountingObjective counting(objective);
+  CoordinateSearchOptions options;
+  options.max_iterations = 1000;
+  options.max_evaluations = 12;  // 1 center + 2 stencils + a 3-point rump
+  options.min_step = 1e-12;
+  const std::vector<double> x0{0.9, 0.1};
+  const auto result = coordinate_search(counting, x0, options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(result.evaluations, 12u);
+  EXPECT_EQ(counting.count(), 12u);
+}
+
+TEST(BatchDispatch, NelderMeadHitsBudgetExactly) {
+  NoisyQuadratic objective({0.4, 0.6}, 0.05);
+  CountingObjective counting(objective);
+  NelderMeadOptions options;
+  options.max_iterations = 1000;
+  options.max_evaluations = 10;
+  options.tolerance = 0.0;  // never converge: only the budget can stop it
+  const std::vector<double> x0{0.9, 0.1};
+  const auto result = nelder_mead(counting, x0, options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(result.evaluations, 10u);
+  EXPECT_EQ(counting.count(), 10u);
+}
+
+TEST(BatchDispatch, NelderMeadBudgetSmallerThanSimplexTruncates) {
+  NoisyQuadratic objective({0.4, 0.6, 0.5}, 0.0);
+  CountingObjective counting(objective);
+  NelderMeadOptions options;
+  options.max_evaluations = 2;  // < dim + 1 = 4 initial vertices
+  const std::vector<double> x0{0.9, 0.1, 0.5};
+  const auto result = nelder_mead(counting, x0, options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(result.evaluations, 2u);
+  EXPECT_EQ(counting.count(), 2u);
+  EXPECT_FALSE(result.best_point.empty());
+}
+
+TEST(BatchDispatch, CrossEntropyHitsBudgetExactly) {
+  NoisyQuadratic objective({0.5, 0.5}, 0.1);
+  CountingObjective counting(objective);
+  CrossEntropyOptions options;
+  options.max_evaluations = 77;  // 2 full generations of 30 + a rump of 17
+  options.max_iterations = 1000;
+  options.min_stddev = 1e-12;
+  const std::vector<double> x0{0.2, 0.2};
+  const auto result = cross_entropy(counting, x0, options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(result.evaluations, 77u);
+  EXPECT_EQ(counting.count(), 77u);
+}
+
+TEST(BatchDispatch, ZeroBudgetReturnsWithoutEvaluating) {
+  NoisyQuadratic objective({0.5, 0.5}, 0.0);
+  CountingObjective counting(objective);
+  const std::vector<double> x0{0.2, 0.2};
+
+  ImplicitFilteringOptions if_options;
+  if_options.max_evaluations = 0;
+  auto result = implicit_filtering(counting, x0, if_options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(counting.count(), 0u);
+
+  CoordinateSearchOptions cs_options;
+  cs_options.max_evaluations = 0;
+  result = coordinate_search(counting, x0, cs_options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(counting.count(), 0u);
+
+  SimulatedAnnealingOptions sa_options;
+  sa_options.max_evaluations = 0;
+  result = simulated_annealing(counting, x0, sa_options);
+  EXPECT_EQ(result.reason, StopReason::kMaxEvaluations);
+  EXPECT_EQ(counting.count(), 0u);
 }
 
 // ------------------------------------------------------------ synthetic --

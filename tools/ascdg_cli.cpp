@@ -65,6 +65,7 @@ commands:
   run <unit> --family F             the full AS-CDG flow on a family
       [--before-sims N] [--samples N] [--sample-sims N] [--iterations N]
       [--directions N] [--point-sims N] [--harvest N] [--seed S]
+      [--eval-cache=on|off] (default on: reuse (point, seed) results)
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
       [--save-before FILE.csv] [--before-csv FILE.csv]
       [--trace FILE.jsonl] [--metrics FILE.json]
@@ -108,9 +109,16 @@ class Args {
     return false;
   }
 
+  /// Accepts both "--name VALUE" and "--name=VALUE".
   std::optional<std::string> value(const char* name) {
-    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
-      if (args_[i] == name) {
+    const std::string joined = std::string(name) + "=";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i].starts_with(joined)) {
+        std::string out = args_[i].substr(joined.size());
+        args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+        return out;
+      }
+      if (i + 1 < args_.size() && args_[i] == name) {
         std::string out = args_[i + 1];
         args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
                     args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
@@ -118,6 +126,17 @@ class Args {
       }
     }
     return std::nullopt;
+  }
+
+  /// An on/off switch ("--name=on|off" or "--name on|off"); returns
+  /// `fallback` when absent, throws on any other value.
+  bool onoff_value(const char* name, bool fallback) {
+    const auto text = value(name);
+    if (!text.has_value()) return fallback;
+    if (*text == "on") return true;
+    if (*text == "off") return false;
+    throw util::ConfigError(std::string(name) + " must be 'on' or 'off', got '" +
+                            *text + "'");
   }
 
   std::size_t size_value(const char* name, std::size_t fallback) {
@@ -386,6 +405,7 @@ int cmd_run(Args& args) {
   config.opt_sims_per_point = args.size_value("--point-sims", 200);
   config.harvest_sims = args.size_value("--harvest", 10000);
   config.seed = args.size_value("--seed", 2021);
+  config.eval_cache = args.onoff_value("--eval-cache", true);
   config.refine_with_real_target = args.flag("--refine");
 
   std::unique_ptr<obs::Tracer> trace;
