@@ -9,6 +9,8 @@
 #include "batch/sim_farm.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/repository.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "duv/ifu.hpp"
@@ -219,6 +221,78 @@ void BM_TracerSpan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TracerSpan);
+
+// --- live-introspection overhead guards (acceptance: the *ServeOn /
+// *RecorderOn variants regress < 5% vs their baselines above; the CI
+// bench artifact archives both sides of each pair).
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder recorder(1024);
+  const std::string line(96, 'x');  // a typical trace-event width
+  for (auto _ : state) {
+    recorder.record(line);
+  }
+  benchmark::DoNotOptimize(recorder.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
+// BM_TracerSpan with a flight-recorder mirror attached — the delta is
+// the per-event cost of keeping the crash ring warm.
+void BM_TracerSpanRecorderOn(benchmark::State& state) {
+  obs::FlightRecorder recorder(1024);
+  obs::Tracer tracer(std::filesystem::path("/dev/null"));
+  tracer.mirror_to(&recorder);
+  for (auto _ : state) {
+    obs::Span span = tracer.span("bench");
+    benchmark::DoNotOptimize(span.id());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerSpanRecorderOn);
+
+// One full /metrics scrape against a registry shaped like a real run
+// (a few dozen series) — bounds what a 1 Hz Prometheus poller costs.
+void BM_HttpMetricsScrape(benchmark::State& state) {
+  obs::Registry reg;
+  for (int i = 0; i < 24; ++i) {
+    reg.counter("bench_scrape_total", {{"series", std::to_string(i)}})
+        .add(static_cast<std::uint64_t>(i));
+    reg.histogram("bench_scrape_us", {{"series", std::to_string(i)}})
+        .observe(static_cast<std::uint64_t>(i) * 17);
+  }
+  obs::HttpServerConfig config;
+  config.registry = &reg;
+  obs::HttpServer server(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle("GET", "/metrics"));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HttpMetricsScrape);
+
+// BM_FarmRunAll with the introspection service live: HTTP server
+// accepting scrapes on its own thread while the farm saturates the
+// workers. The delta vs BM_FarmRunAll is the serve-mode overhead.
+void BM_FarmRunAllServeOn(benchmark::State& state) {
+  obs::HttpServerConfig http_config;
+  obs::HttpServer server(http_config);
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<batch::SimFarm::Job> jobs(kJobs,
+                                        batch::SimFarm::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kJobs * kSimsPerJob));
+}
+BENCHMARK(BM_FarmRunAllServeOn)->Arg(2)->Arg(8);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace ascdg::batch {
@@ -46,8 +47,12 @@ SimFarm::SimFarm(std::size_t num_threads)
   metrics_.runs = &reg.counter("ascdg_farm_runs_total", {{"farm", id}});
   metrics_.busy_ns = &reg.counter("ascdg_farm_busy_ns_total", {{"farm", id}});
   metrics_.queue_depth = &reg.gauge("ascdg_farm_queue_depth", {{"farm", id}});
+  metrics_.active_runs = &reg.gauge("ascdg_farm_active_runs", {{"farm", id}});
+  metrics_.busy_fraction_ppm =
+      &reg.gauge("ascdg_farm_worker_busy_fraction", {{"farm", id}});
   metrics_.chunk_latency_us =
       &reg.histogram("ascdg_farm_chunk_latency_us", {{"farm", id}});
+  created_ns_ = util::monotonic_ns();
 
   queues_ = std::make_unique<WorkerQueue[]>(worker_n_);
   workers_.reserve(worker_n_);
@@ -157,9 +162,15 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
   // Keep the destructor from reaping the farm while this call is still
   // inside it (the workers themselves drain independently).
   active_runs_.fetch_add(1, std::memory_order_acq_rel);
+  metrics_.active_runs->add(1);
   struct RunGuard {
     SimFarm* farm;
     ~RunGuard() {
+      // Refresh the utilization gauge at every run retirement, so the
+      // live scrape sees a current number without a sampler thread.
+      farm->metrics_.busy_fraction_ppm->set(static_cast<std::int64_t>(
+          farm->worker_busy_fraction() * 1e6));
+      farm->metrics_.active_runs->sub(1);
       if (farm->active_runs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         const std::scoped_lock lock(farm->sleep_mutex_);
         farm->idle_cv_.notify_all();
@@ -299,11 +310,23 @@ TelemetrySnapshot SimFarm::telemetry() const {
       std::max<std::int64_t>(0, metrics_.queue_depth->peak()));
   snap.exceptions = metrics_.exceptions->value();
   snap.runs = metrics_.runs->value();
+  snap.active_runs = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, metrics_.active_runs->value()));
   snap.busy_ns = metrics_.busy_ns->value();
+  snap.busy_fraction = worker_busy_fraction();
   for (std::size_t i = 0; i < TelemetrySnapshot::kLatencyBuckets; ++i) {
     snap.chunk_latency[i] = metrics_.chunk_latency_us->bucket(i);
   }
   return snap;
+}
+
+double SimFarm::worker_busy_fraction() const noexcept {
+  const std::uint64_t elapsed = util::monotonic_ns() - created_ns_;
+  if (elapsed == 0 || worker_n_ == 0) return 0.0;
+  const double capacity =
+      static_cast<double>(elapsed) * static_cast<double>(worker_n_);
+  return std::min(1.0, static_cast<double>(metrics_.busy_ns->value()) /
+                           capacity);
 }
 
 }  // namespace ascdg::batch

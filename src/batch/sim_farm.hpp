@@ -64,7 +64,13 @@ struct TelemetrySnapshot {
   std::size_t max_queue_depth = 0;  ///< peak queued-but-not-taken chunks
   std::size_t exceptions = 0;       ///< chunks that ended in a captured exception
   std::size_t runs = 0;             ///< run_all() calls completed
+  std::size_t active_runs = 0;      ///< run_all() calls currently in flight
   std::uint64_t busy_ns = 0;        ///< summed wall time inside chunks
+  /// Fraction of the pool's wall-clock capacity spent inside chunks
+  /// since construction (0..1): busy_ns / (workers x farm lifetime).
+  /// The watchdog/report read the same number from the
+  /// `ascdg_farm_worker_busy_fraction` gauge (stored in ppm).
+  double busy_fraction = 0.0;
   std::array<std::size_t, kLatencyBuckets> chunk_latency{};
 
   /// Mean chunk wall time in microseconds (0 when no chunk ran).
@@ -130,6 +136,10 @@ class SimFarm {
   /// registry series this farm owns).
   [[nodiscard]] TelemetrySnapshot telemetry() const;
 
+  /// Mean worker utilization since construction (0..1): summed chunk
+  /// wall time over the pool's elapsed capacity.
+  [[nodiscard]] double worker_busy_fraction() const noexcept;
+
  private:
   using Task = std::function<void()>;
 
@@ -183,9 +193,18 @@ class SimFarm {
     /// lock in take_task(), so it can never dip negative and its peak
     /// watermark is exact (the old ad-hoc gauge raced enqueue/steal).
     obs::Gauge* queue_depth = nullptr;
+    /// run_all() calls currently inside the farm — the watchdog's
+    /// "work outstanding" signal (a wedged worker keeps this positive
+    /// while every progress counter flatlines).
+    obs::Gauge* active_runs = nullptr;
+    /// Pool utilization in parts-per-million (gauges are integral);
+    /// refreshed at every run_all() completion.
+    obs::Gauge* busy_fraction_ppm = nullptr;
     obs::Histogram* chunk_latency_us = nullptr;
   };
   FarmMetrics metrics_;
+  /// util::monotonic_ns() at construction — busy-fraction denominator.
+  std::uint64_t created_ns_ = 0;
 };
 
 }  // namespace ascdg::batch

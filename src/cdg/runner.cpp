@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/run_state.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
@@ -36,6 +38,38 @@ void trace_phase(obs::Tracer* sink, std::string_view key,
       .merge(details);
   sink->emit(event);
 }
+
+/// RAII flow-phase marker for the live-introspection surface: pushes
+/// the phase onto obs::run_state()'s stack (visible at /runz) and, on
+/// exit, publishes the phase's CPU/RSS footprint as
+/// ascdg_phase_*{phase=...} gauges.
+class PhaseScope {
+ public:
+  explicit PhaseScope(std::string name)
+      : name_(std::move(name)), start_(obs::read_resource_usage()) {
+    obs::run_state().enter_phase(name_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() { end(); }
+
+  void end() noexcept {
+    if (ended_) return;
+    ended_ = true;
+    try {
+      obs::update_phase_resource_gauges(obs::registry(), name_, start_,
+                                        obs::read_resource_usage());
+    } catch (...) {
+      // Telemetry must never fail the flow.
+    }
+    obs::run_state().exit_phase();
+  }
+
+ private:
+  std::string name_;
+  obs::ResourceUsage start_;
+  bool ended_ = false;
+};
 
 /// Per-target-event closure telemetry: the first flow phase whose
 /// cumulative coverage hit each real target event.
@@ -161,13 +195,17 @@ FlowResult CdgRunner::run_from_template(
   }
 
   const auto flow_start = Clock::now();
+  obs::run_state().start_flow(seed_template.name());
+  PhaseScope flow_scope("flow");
   obs::Span flow_span = obs::make_span(config_.trace, "flow");
   flow_span.fields().add("seed_template", seed_template.name());
 
   // --- Skeletonize ------------------------------------------------------
   obs::Span skel_span = obs::make_span(config_.trace, "skeletonize");
+  PhaseScope skel_phase("skeletonize");
   const Skeletonizer skeletonizer(config_.skeletonizer);
   result.skeleton = skeletonizer.skeletonize(seed_template);
+  skel_phase.end();
   skel_span.fields().add("marks", result.skeleton.mark_count());
   skel_span.end();
   util::log_info("skeletonized '", seed_template.name(), "' -> ",
@@ -183,6 +221,7 @@ FlowResult CdgRunner::run_from_template(
   // --- Random sampling phase (§IV-D) -------------------------------------
   const auto sampling_start = Clock::now();
   obs::Span sampling_span = obs::make_span(config_.trace, "sampling");
+  PhaseScope sampling_scope("sampling");
   RandomSampleOptions sample_options;
   sample_options.templates = config_.sample_templates;
   sample_options.sims_per_template = config_.sample_sims;
@@ -192,6 +231,7 @@ FlowResult CdgRunner::run_from_template(
   result.sampling_phase = {"Sampling phase", result.sampling.simulations,
                            result.sampling.combined};
   result.sampling_phase.wall_ms = ms_since(sampling_start);
+  sampling_scope.end();
   sampling_span.fields()
       .add("sims", result.sampling_phase.sims)
       .add("best_value", result.sampling.best().target_value);
@@ -207,6 +247,7 @@ FlowResult CdgRunner::run_from_template(
   // --- Optimization phase (§IV-E) ----------------------------------------
   const auto optimization_start = Clock::now();
   obs::Span opt_span = obs::make_span(config_.trace, "optimization");
+  PhaseScope opt_scope("optimization");
   const EvalCacheConfig cache_config{.enabled = config_.eval_cache,
                                      .capacity = 1024};
   CdgObjective objective(*duv_, *farm_, result.skeleton, target,
@@ -278,6 +319,7 @@ FlowResult CdgRunner::run_from_template(
     }
   }
   result.optimization_phase.wall_ms = ms_since(optimization_start);
+  opt_scope.end();
   opt_span.fields()
       .add("sims", result.optimization_phase.sims)
       .add("iterations", result.optimization.trace.size())
@@ -292,6 +334,7 @@ FlowResult CdgRunner::run_from_template(
   // --- Harvest (§IV-F) -----------------------------------------------------
   const auto harvest_start = Clock::now();
   obs::Span harvest_span = obs::make_span(config_.trace, "harvest");
+  PhaseScope harvest_scope("harvest");
   result.best_template = result.skeleton.instantiate(
       seed_template.name() + "_cdg_best", best_point);
   result.harvest_phase.name = "Running best test";
@@ -307,6 +350,7 @@ FlowResult CdgRunner::run_from_template(
     result.harvest_phase.stats = coverage::SimStats(duv_->space().size());
   }
   result.harvest_phase.wall_ms = ms_since(harvest_start);
+  harvest_scope.end();
   harvest_span.fields().add("sims", result.harvest_phase.sims);
   harvest_span.end();
   trace_phase(
@@ -334,7 +378,10 @@ FlowResult CdgRunner::run_from_template(
         static_cast<std::int64_t>(events_hit));
     reg.gauge("ascdg_flow_target_events_remaining")
         .set(static_cast<std::int64_t>(result.first_hits.size() - events_hit));
+    obs::run_state().set_coverage(events_hit,
+                                  result.first_hits.size() - events_hit);
   }
+  obs::update_resource_gauges(obs::registry());
 
   flow_span.fields()
       .add("flow_sims", result.flow_sims())

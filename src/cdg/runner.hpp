@@ -94,6 +94,24 @@ struct FlowConfig {
   /// "opt_iter" convergence series — see docs/observability.md for the
   /// field schema.
   obs::Tracer* trace = nullptr;
+
+  // Live introspection (docs/observability.md "Live monitoring"). The
+  // flow itself always publishes its phase stack / optimizer heartbeat
+  // into obs::run_state(); these knobs tell the *driver* (ascdg_cli)
+  // which companion services to stand up around the run.
+  /// When set, serve /metrics, /healthz, /runz, /flightrecorder on
+  /// 127.0.0.1:<port> for the duration of the run (0 = ephemeral port,
+  /// printed at startup). CLI: --serve[=PORT].
+  std::optional<std::uint16_t> serve_port;
+  /// When non-zero, run a watchdog that declares the run stalled (and
+  /// flips /healthz to degraded) after this many seconds without farm
+  /// or optimizer progress while work is outstanding. CLI:
+  /// --watchdog=SECS.
+  std::size_t watchdog_stall_secs = 0;
+  /// When non-zero, mirror the last K trace records into an in-memory
+  /// flight recorder dumped on stall, fatal signal, or /flightrecorder.
+  /// CLI: --flight-recorder=K.
+  std::size_t flight_recorder_records = 0;
 };
 
 /// Hit statistics of one flow phase, as shown in the paper's result

@@ -1,0 +1,115 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace ascdg::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::record(std::string_view line) noexcept {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  // Mark the slot mid-write so readers skip it, copy, then publish.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(std::min(line.size(), kMaxLine));
+  std::memcpy(slot.text, line.data(), length);
+  slot.length = length;
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(std::uint64_t ticket, char* out,
+                               std::uint32_t& length) const noexcept {
+  const Slot& slot = slots_[ticket % capacity_];
+  const std::uint64_t expected = 2 * ticket + 2;
+  if (slot.seq.load(std::memory_order_acquire) != expected) return false;
+  const std::uint32_t n = std::min<std::uint32_t>(
+      slot.length, static_cast<std::uint32_t>(kMaxLine));
+  std::memcpy(out, slot.text, n);
+  length = n;
+  // Unchanged sequence across the copy means no writer touched the slot.
+  return slot.seq.load(std::memory_order_acquire) == expected;
+}
+
+std::vector<std::string> FlightRecorder::dump() const {
+  std::vector<std::string> out;
+  const std::uint64_t head = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  out.reserve(static_cast<std::size_t>(head - first));
+  char buffer[kMaxLine];
+  for (std::uint64_t ticket = first; ticket < head; ++ticket) {
+    std::uint32_t length = 0;
+    if (read_slot(ticket, buffer, length)) {
+      out.emplace_back(buffer, length);
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::dump_to_fd(int fd) const noexcept {
+  // Signal-safe walk: no allocation, no locks, only write(2).
+  const std::uint64_t head = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  char buffer[kMaxLine + 1];
+  for (std::uint64_t ticket = first; ticket < head; ++ticket) {
+    std::uint32_t length = 0;
+    if (!read_slot(ticket, buffer, length)) continue;
+    buffer[length] = '\n';
+    std::size_t written = 0;
+    while (written < length + 1u) {
+      const ssize_t n = ::write(fd, buffer + written, length + 1u - written);
+      if (n <= 0) return;
+      written += static_cast<std::size_t>(n);
+    }
+  }
+}
+
+namespace {
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+
+/// Fatal-signal handler: dump the recorder tail to stderr, then let the
+/// default disposition terminate the process. Everything here is
+/// async-signal-safe.
+extern "C" void crash_dump_handler(int signum) {
+  static const char kHeader[] =
+      "\n=== ascdg flight recorder (fatal signal) ===\n";
+  static const char kFooter[] = "=== end flight recorder ===\n";
+  FlightRecorder* recorder = g_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    (void)!::write(2, kHeader, sizeof kHeader - 1);
+    recorder->dump_to_fd(2);
+    (void)!::write(2, kFooter, sizeof kFooter - 1);
+  }
+  ::signal(signum, SIG_DFL);
+  ::raise(signum);
+}
+
+}  // namespace
+
+void set_flight_recorder(FlightRecorder* recorder) noexcept {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder* flight_recorder() noexcept {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void install_crash_dump() noexcept {
+  static const int kSignals[] = {SIGSEGV, SIGBUS, SIGABRT, SIGFPE, SIGILL};
+  for (const int signum : kSignals) {
+    struct sigaction action = {};
+    action.sa_handler = crash_dump_handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    ::sigaction(signum, &action, nullptr);
+  }
+}
+
+}  // namespace ascdg::obs

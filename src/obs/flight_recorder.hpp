@@ -1,0 +1,87 @@
+// In-memory flight recorder: a lock-free ring of the last K trace
+// records, so a hung or crashed run still yields the tail of its trace
+// even when no `--trace` file was requested.
+//
+// Writers claim a slot with one fetch_add on a monotone ticket and
+// publish with a store-release of the slot's sequence word; they never
+// block and never allocate, so record() is safe on any hot path the
+// tracer touches. Readers (dump(), the /flightrecorder endpoint, the
+// fatal-signal handler) walk the retained ticket window and validate
+// each slot's sequence before and after copying — a slot overwritten
+// mid-read is dropped, never torn.
+//
+// dump_to_fd() uses only async-signal-safe calls (write(2) on
+// pre-formatted slot buffers), which is what lets install_crash_dump()
+// print the tail from inside a SIGSEGV/SIGABRT handler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascdg::obs {
+
+class FlightRecorder {
+ public:
+  /// Per-record byte budget; longer lines are truncated (a truncated
+  /// tail still names the event, which is what post-mortems need).
+  static constexpr std::size_t kMaxLine = 480;
+
+  /// `capacity` is the number of retained records (clamped to >= 1).
+  explicit FlightRecorder(std::size_t capacity);
+
+  /// Appends one record (typically a JSONL trace line, newline not
+  /// included). Wait-free, allocation-free, safe from any thread.
+  void record(std::string_view line) noexcept;
+
+  /// Ordered (oldest -> newest) copy of the retained records. Slots
+  /// overwritten while being read are skipped rather than torn.
+  [[nodiscard]] std::vector<std::string> dump() const;
+
+  /// Writes the retained records (one per line) to `fd` using only
+  /// async-signal-safe calls. Best effort: concurrent writers may
+  /// replace a slot mid-walk, in which case that slot is skipped.
+  void dump_to_fd(int fd) const noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Total records ever written (>= capacity() once the ring wrapped).
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    /// 0 = never written; 2*ticket+1 = write in progress;
+    /// 2*ticket+2 = published.
+    std::atomic<std::uint64_t> seq{0};
+    std::uint32_t length = 0;
+    char text[kMaxLine] = {};
+  };
+
+  /// Copies a published slot if its sequence is stable; false otherwise.
+  bool read_slot(std::uint64_t ticket, char* out,
+                 std::uint32_t& length) const noexcept;
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Process-wide recorder used by the fatal-signal crash dump (and by
+/// any code that wants to record without plumbing a pointer). Not
+/// owned; the caller keeps the recorder alive and clears the pointer
+/// before destroying it.
+void set_flight_recorder(FlightRecorder* recorder) noexcept;
+[[nodiscard]] FlightRecorder* flight_recorder() noexcept;
+
+/// Installs handlers for fatal signals (SIGSEGV, SIGBUS, SIGABRT,
+/// SIGFPE, SIGILL) that dump the process flight recorder (when one is
+/// set) to stderr, then re-raise with the default disposition so the
+/// exit status / core dump is unchanged. Idempotent.
+void install_crash_dump() noexcept;
+
+}  // namespace ascdg::obs

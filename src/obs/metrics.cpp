@@ -53,14 +53,32 @@ const MetricSample* MetricsSnapshot::find(
 namespace {
 /// Renders labels as `key="value",...` — the canonical identity of a
 /// series within its family, and exactly the Prometheus exposition
-/// brace body. Labels are rendered in the order given.
+/// brace body. Labels are rendered in the order given. Values are
+/// escaped per the exposition format (backslash, double quote,
+/// newline), so a label value like `path="a\b"` can never break the
+/// scrape output — and since the JSON exporter re-escapes the rendered
+/// string, it stays valid there too.
 std::string render_labels(std::initializer_list<Label> labels) {
   std::string out;
   for (const auto& label : labels) {
     if (!out.empty()) out += ',';
     out += label.key;
     out += "=\"";
-    out += label.value;
+    for (const char c : label.value) {
+      switch (c) {
+        case '\\':
+          out += "\\\\";
+          break;
+        case '"':
+          out += "\\\"";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        default:
+          out += c;
+      }
+    }
     out += '"';
   }
   return out;

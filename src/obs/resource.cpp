@@ -1,0 +1,85 @@
+#include "obs/resource.hpp"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace ascdg::obs {
+
+namespace {
+
+std::uint64_t timeval_us(const timeval& tv) noexcept {
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1'000'000ULL +
+         static_cast<std::uint64_t>(tv.tv_usec);
+}
+
+}  // namespace
+
+ResourceUsage read_resource_usage() noexcept {
+  ResourceUsage usage;
+
+  rusage ru = {};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    usage.user_cpu_us = timeval_us(ru.ru_utime);
+    usage.system_cpu_us = timeval_us(ru.ru_stime);
+    // ru_maxrss is kilobytes on Linux.
+    usage.max_rss_bytes = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024ULL;
+    usage.minor_faults = static_cast<std::uint64_t>(ru.ru_minflt);
+    usage.major_faults = static_cast<std::uint64_t>(ru.ru_majflt);
+    usage.vol_ctx_switches = static_cast<std::uint64_t>(ru.ru_nvcsw);
+    usage.invol_ctx_switches = static_cast<std::uint64_t>(ru.ru_nivcsw);
+  }
+
+  // /proc/self/statm: size resident shared text lib data dt, in pages.
+  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+    unsigned long long vm_pages = 0;
+    unsigned long long rss_pages = 0;
+    if (std::fscanf(statm, "%llu %llu", &vm_pages, &rss_pages) == 2) {
+      const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+      usage.vm_bytes = vm_pages * page;
+      usage.rss_bytes = rss_pages * page;
+    }
+    std::fclose(statm);
+  }
+  if (usage.rss_bytes == 0) {
+    // No /proc (non-Linux): fall back on the kernel-reported peak so
+    // the gauge is at least an upper bound instead of zero.
+    usage.rss_bytes = usage.max_rss_bytes;
+  }
+  return usage;
+}
+
+ResourceUsage update_resource_gauges(Registry& reg) {
+  const ResourceUsage usage = read_resource_usage();
+  reg.gauge("ascdg_proc_rss_bytes")
+      .set(static_cast<std::int64_t>(usage.rss_bytes));
+  reg.gauge("ascdg_proc_vm_bytes")
+      .set(static_cast<std::int64_t>(usage.vm_bytes));
+  reg.gauge("ascdg_proc_max_rss_bytes")
+      .set(static_cast<std::int64_t>(usage.max_rss_bytes));
+  reg.gauge("ascdg_proc_cpu_user_ms")
+      .set(static_cast<std::int64_t>(usage.user_cpu_us / 1000));
+  reg.gauge("ascdg_proc_cpu_system_ms")
+      .set(static_cast<std::int64_t>(usage.system_cpu_us / 1000));
+  reg.gauge("ascdg_proc_major_faults")
+      .set(static_cast<std::int64_t>(usage.major_faults));
+  reg.gauge("ascdg_proc_ctx_switches_involuntary")
+      .set(static_cast<std::int64_t>(usage.invol_ctx_switches));
+  reg.histogram("ascdg_proc_rss_sample_bytes").observe(usage.rss_bytes);
+  return usage;
+}
+
+void update_phase_resource_gauges(Registry& reg, std::string_view phase,
+                                  const ResourceUsage& start,
+                                  const ResourceUsage& end) {
+  const std::uint64_t cpu_ms =
+      end.cpu_us() >= start.cpu_us() ? (end.cpu_us() - start.cpu_us()) / 1000
+                                     : 0;
+  reg.gauge("ascdg_phase_cpu_ms", {{"phase", phase}})
+      .set(static_cast<std::int64_t>(cpu_ms));
+  reg.gauge("ascdg_phase_rss_bytes", {{"phase", phase}})
+      .set(static_cast<std::int64_t>(end.rss_bytes));
+}
+
+}  // namespace ascdg::obs

@@ -1,0 +1,63 @@
+#include "obs/run_state.hpp"
+
+namespace ascdg::obs {
+
+void RunState::start_flow(std::string_view seed_template) {
+  const std::scoped_lock lock(mutex_);
+  state_.seed_template = std::string(seed_template);
+  state_.opt_iteration = 0;
+  state_.opt_best_value = 0.0;
+  state_.opt_started = false;
+  state_.targets_hit = 0;
+  state_.targets_remaining = 0;
+  state_.coverage_known = false;
+  ++state_.updates;
+}
+
+void RunState::enter_phase(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  state_.phase_stack.emplace_back(name);
+  ++state_.updates;
+}
+
+void RunState::exit_phase() {
+  const std::scoped_lock lock(mutex_);
+  if (!state_.phase_stack.empty()) state_.phase_stack.pop_back();
+  ++state_.updates;
+}
+
+void RunState::set_optimizer(std::uint64_t iteration, double best_value) {
+  const std::scoped_lock lock(mutex_);
+  state_.opt_iteration = iteration;
+  state_.opt_best_value = best_value;
+  state_.opt_started = true;
+  ++state_.updates;
+}
+
+void RunState::set_coverage(std::uint64_t targets_hit,
+                            std::uint64_t targets_remaining) {
+  const std::scoped_lock lock(mutex_);
+  state_.targets_hit = targets_hit;
+  state_.targets_remaining = targets_remaining;
+  state_.coverage_known = true;
+  ++state_.updates;
+}
+
+void RunState::reset() {
+  const std::scoped_lock lock(mutex_);
+  const std::uint64_t updates = state_.updates + 1;
+  state_ = Snapshot{};
+  state_.updates = updates;
+}
+
+RunState::Snapshot RunState::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  return state_;
+}
+
+RunState& run_state() {
+  static RunState instance;
+  return instance;
+}
+
+}  // namespace ascdg::obs

@@ -1,0 +1,142 @@
+#include "obs/watchdog.hpp"
+
+#include <string_view>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/resource.hpp"
+#include "util/jsonl.hpp"
+#include "util/log.hpp"
+
+namespace ascdg::obs {
+
+namespace {
+
+std::uint64_t sum_counters(const MetricsSnapshot& snapshot,
+                           std::string_view name) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.kind == MetricKind::kCounter && sample.name == name) {
+      total += sample.counter;
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+std::uint64_t Watchdog::progress_signal(
+    const MetricsSnapshot& snapshot) noexcept {
+  return sum_counters(snapshot, "ascdg_farm_simulations_total") +
+         sum_counters(snapshot, "ascdg_opt_iterations_total");
+}
+
+bool Watchdog::work_outstanding(const MetricsSnapshot& snapshot) noexcept {
+  for (const auto& sample : snapshot.samples) {
+    if (sample.kind == MetricKind::kGauge &&
+        sample.name == "ascdg_farm_active_runs" && sample.gauge > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Watchdog::Watchdog(Registry& reg, WatchdogConfig config)
+    : registry_(&reg),
+      config_(config),
+      stalls_total_(&reg.counter("ascdg_watchdog_stalls_total")),
+      last_progress_(std::chrono::steady_clock::now()) {
+  health_.progress = progress_signal(registry_->snapshot());
+  if (config_.start_thread) {
+    thread_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::scoped_lock lock(stop_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Watchdog::Health Watchdog::health() const {
+  const std::scoped_lock lock(mutex_);
+  return health_;
+}
+
+void Watchdog::poll_now() {
+  if (config_.sample_resources) (void)update_resource_gauges(*registry_);
+  const MetricsSnapshot snapshot = registry_->snapshot();
+  const std::uint64_t progress = progress_signal(snapshot);
+  const bool outstanding = work_outstanding(snapshot);
+  const auto now = std::chrono::steady_clock::now();
+
+  bool flipped_to_stalled = false;
+  Health health_copy;
+  {
+    const std::scoped_lock lock(mutex_);
+    ++health_.polls;
+    if (progress != health_.progress) {
+      health_.progress = progress;
+      last_progress_ = now;
+      if (health_.stalled) {
+        health_.stalled = false;
+        health_.reason.clear();
+        if (config_.trace != nullptr) {
+          config_.trace->emit(
+              util::JsonObject{}.add("event", "stall_recovered")
+                  .add("progress", progress));
+        }
+      }
+    }
+    const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+        now - last_progress_);
+    health_.ms_since_progress = static_cast<std::uint64_t>(idle.count());
+    if (!health_.stalled && outstanding && idle >= config_.stall_after) {
+      health_.stalled = true;
+      health_.reason = "no progress for " + std::to_string(idle.count()) +
+                       " ms with farm work outstanding (stall budget " +
+                       std::to_string(config_.stall_after.count()) + " ms)";
+      ++health_.stalls;
+      flipped_to_stalled = true;
+    }
+    health_copy = health_;
+  }
+
+  if (flipped_to_stalled) {
+    stalls_total_->inc();
+    util::log_warn("watchdog: ", health_copy.reason);
+    if (config_.trace != nullptr) {
+      config_.trace->emit(util::JsonObject{}
+                              .add("event", "stall")
+                              .add("reason", health_copy.reason)
+                              .add("progress", health_copy.progress)
+                              .add("ms_since_progress",
+                                   health_copy.ms_since_progress));
+    }
+    if (config_.dump_recorder_on_stall) {
+      if (FlightRecorder* recorder = flight_recorder()) {
+        util::log_warn("watchdog: dumping flight recorder (",
+                       recorder->recorded(), " records seen)");
+        recorder->dump_to_fd(2);
+      }
+    }
+  }
+}
+
+void Watchdog::monitor_loop() {
+  std::unique_lock lock(stop_mutex_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, config_.poll_interval, [this] {
+          return stopping_.load(std::memory_order_acquire);
+        })) {
+      return;
+    }
+    lock.unlock();
+    poll_now();
+    lock.lock();
+  }
+}
+
+}  // namespace ascdg::obs

@@ -1,0 +1,105 @@
+// Run watchdog: a monitor thread that notices when the flow stops
+// making progress. §6 of the paper runs thousands of noisy simulations
+// unattended; a wedged farm worker or a dead-locked optimizer must flip
+// /healthz to "degraded" (and leave a trace) instead of silently
+// burning the batch budget.
+//
+// Progress is defined over the metrics registry, not a side channel:
+// the sum of every `ascdg_farm_simulations_total` series plus the
+// `ascdg_opt_iterations_total` heartbeat. Work is "outstanding" when
+// any `ascdg_farm_active_runs` gauge is positive — so a farm that is
+// idle between phases is healthy, while a farm that is mid-run_all and
+// silent past the stall budget is stalled.
+//
+// On a stall verdict the watchdog bumps `ascdg_watchdog_stalls_total`,
+// emits a `stall` trace event, logs a warning, and (when a process
+// flight recorder is installed) dumps the trace tail to stderr. The
+// verdict clears itself when progress resumes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ascdg::obs {
+
+struct WatchdogConfig {
+  /// How often the monitor thread re-checks (and re-samples resources).
+  std::chrono::milliseconds poll_interval{1000};
+  /// No progress for this long while work is outstanding => stalled.
+  std::chrono::milliseconds stall_after{30'000};
+  /// When false, no thread is started; call poll_now() manually (tests,
+  /// or callers with their own tick).
+  bool start_thread = true;
+  /// Refresh the ascdg_proc_* resource gauges on every poll.
+  bool sample_resources = true;
+  /// Dump the process flight recorder (when installed) to stderr on the
+  /// first poll that flips the verdict to stalled.
+  bool dump_recorder_on_stall = true;
+  /// Optional sink for `stall` / `stall_recovered` events.
+  Tracer* trace = nullptr;
+};
+
+class Watchdog {
+ public:
+  /// Watches `reg` (pass obs::registry() for the real process books).
+  Watchdog(Registry& reg, WatchdogConfig config);
+
+  /// Stops and joins the monitor thread.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// The /healthz verdict.
+  struct Health {
+    bool stalled = false;
+    std::string reason;  ///< empty while healthy
+    std::uint64_t progress = 0;            ///< last observed progress sum
+    std::uint64_t ms_since_progress = 0;   ///< 0 when progress just moved
+    std::uint64_t stalls = 0;              ///< healthy->stalled flips so far
+    std::uint64_t polls = 0;               ///< checks performed
+  };
+  [[nodiscard]] Health health() const;
+
+  /// One synchronous check (also what the monitor thread runs).
+  void poll_now();
+
+  [[nodiscard]] const WatchdogConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// The registry-derived progress signal: summed farm simulations plus
+  /// optimizer iterations. Exposed for tests.
+  [[nodiscard]] static std::uint64_t progress_signal(
+      const MetricsSnapshot& snapshot) noexcept;
+
+  /// True when any farm has a run_all in flight.
+  [[nodiscard]] static bool work_outstanding(
+      const MetricsSnapshot& snapshot) noexcept;
+
+ private:
+  void monitor_loop();
+
+  Registry* registry_;
+  WatchdogConfig config_;
+  Counter* stalls_total_;
+
+  mutable std::mutex mutex_;
+  Health health_;
+  std::chrono::steady_clock::time_point last_progress_;
+
+  std::condition_variable stop_cv_;
+  std::mutex stop_mutex_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace ascdg::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/run_state.hpp"
 #include "util/error.hpp"
 #include "util/jsonl.hpp"
 #include "util/rng.hpp"
@@ -204,6 +205,9 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
     result.trace.push_back({iter, center_value, best, step_this_iter,
                             evaluations, moved, resamples, halved});
     m_iterations.inc();
+    // Heartbeat for /runz (and the watchdog's progress signal rides on
+    // the iteration counter above).
+    obs::run_state().set_optimizer(iter, center_value);
     if (options.trace != nullptr) {
       // Note center_value here is the *post-move* objective — the value
       // the next iteration starts from, i.e. the convergence curve.

@@ -221,6 +221,9 @@ void write_flow_markdown(const std::filesystem::path& path,
     render_farm_telemetry(os, *farm);
   }
 
+  os << "\n## Run health\n\n";
+  render_run_health(os, obs::registry().snapshot());
+
   os << "\n## Harvested test-template\n\n```\n"
      << tgen::to_text(flow.best_template) << "```\n";
   os.flush();
@@ -288,6 +291,73 @@ void render_farm_telemetry(std::ostream& os,
     if (farm.chunk_latency[i] == 0) continue;
     os << "| [" << (1ull << i) << ", " << (1ull << (i + 1)) << ") us | "
        << farm.chunk_latency[i] << " |\n";
+  }
+}
+
+void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
+  const auto gauge = [&](std::string_view name) -> std::int64_t {
+    const obs::MetricSample* sample = snapshot.find(name);
+    return sample != nullptr ? sample->gauge : 0;
+  };
+  const auto counter_sum = [&](std::string_view name) -> std::uint64_t {
+    std::uint64_t total = 0;
+    for (const auto& sample : snapshot.samples) {
+      if (sample.name == name) total += sample.counter;
+    }
+    return total;
+  };
+  const auto mib = [](std::int64_t bytes) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+    return std::string(buf);
+  };
+
+  if (snapshot.find("ascdg_proc_rss_bytes") != nullptr) {
+    os << "Process: RSS " << mib(gauge("ascdg_proc_rss_bytes"))
+       << " MiB (peak " << mib(gauge("ascdg_proc_max_rss_bytes"))
+       << " MiB), CPU " << gauge("ascdg_proc_cpu_user_ms") << " ms user + "
+       << gauge("ascdg_proc_cpu_system_ms") << " ms system, "
+       << gauge("ascdg_proc_major_faults") << " major faults.\n\n";
+  }
+
+  const std::uint64_t stalls = counter_sum("ascdg_watchdog_stalls_total");
+  if (snapshot.find("ascdg_watchdog_stalls_total") != nullptr) {
+    os << "Watchdog: "
+       << (stalls == 0 ? std::string("no stalls detected")
+                       : std::to_string(stalls) + " stall(s) detected")
+       << ".\n\n";
+  }
+
+  bool any_farm = false;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name != "ascdg_farm_worker_busy_fraction") continue;
+    if (!any_farm) os << "Worker utilization since farm start:\n\n";
+    any_farm = true;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f%%",
+                  static_cast<double>(sample.gauge) / 1e4);
+    os << "  * farm {" << sample.labels << "}: " << buf << " busy\n";
+  }
+  if (any_farm) os << '\n';
+
+  bool any_phase = false;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name != "ascdg_phase_cpu_ms") continue;
+    if (!any_phase) {
+      os << "Per-phase footprint:\n\n"
+         << "| phase | CPU ms | RSS at end |\n| --- | ---: | ---: |\n";
+    }
+    any_phase = true;
+    const obs::MetricSample* rss =
+        snapshot.find("ascdg_phase_rss_bytes", sample.labels);
+    os << "| {" << sample.labels << "} | " << sample.gauge << " | "
+       << (rss != nullptr ? mib(rss->gauge) + " MiB" : std::string("?"))
+       << " |\n";
+  }
+  if (!any_phase && !any_farm && stalls == 0 &&
+      snapshot.find("ascdg_proc_rss_bytes") == nullptr) {
+    os << "(no health telemetry recorded)\n";
   }
 }
 
@@ -404,12 +474,33 @@ void write_metrics_json(const std::filesystem::path& path,
     registry_json.pop_back();
   }
 
+  // Digest of the registry's health series (the full series are also in
+  // "registry"; this block saves consumers the label-parsing).
+  const auto health_gauge = [&](std::string_view name) -> std::int64_t {
+    const obs::MetricSample* sample = snapshot.find(name);
+    return sample != nullptr ? sample->gauge : 0;
+  };
+  std::uint64_t watchdog_stalls = 0;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name == "ascdg_watchdog_stalls_total") {
+      watchdog_stalls += sample.counter;
+    }
+  }
+  util::JsonObject run_health;
+  run_health.add("rss_bytes", health_gauge("ascdg_proc_rss_bytes"))
+      .add("max_rss_bytes", health_gauge("ascdg_proc_max_rss_bytes"))
+      .add("cpu_user_ms", health_gauge("ascdg_proc_cpu_user_ms"))
+      .add("cpu_system_ms", health_gauge("ascdg_proc_cpu_system_ms"))
+      .add("major_faults", health_gauge("ascdg_proc_major_faults"))
+      .add("watchdog_stalls", watchdog_stalls);
+
   util::JsonObject document;
   document.add("schema", "ascdg-run-metrics-v1")
       .add("seed_template", flow.seed_template)
       .add("flow_sims", flow.flow_sims())
       .add("eval_cache_hits", flow.eval_cache_hits)
       .add("eval_cache_misses", flow.eval_cache_misses)
+      .add_raw("run_health", run_health.str())
       .add_raw("opt_series", series_json(flow.optimization));
   if (flow.refinement.has_value()) {
     document.add_raw("refine_series", series_json(*flow.refinement));

@@ -69,6 +69,15 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
 void render_farm_telemetry(std::ostream& os,
                            const batch::TelemetrySnapshot& farm);
 
+/// Renders the "Run health" fragment from a metrics-registry snapshot:
+/// process RSS / peak RSS / CPU split (the ascdg_proc_* gauges), the
+/// watchdog verdict (ascdg_watchdog_stalls_total), per-farm worker
+/// utilization (ascdg_farm_worker_busy_fraction, ppm), and the
+/// per-phase CPU/RSS footprint (ascdg_phase_*{phase=...}). Sections
+/// whose series are absent from the snapshot are omitted, so the
+/// fragment degrades gracefully when the sampler never ran.
+void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot);
+
 /// Renders the convergence section as markdown: the optimizer's
 /// objective curve (paper Fig. 6) as a fenced ASCII chart plus the
 /// per-iteration step/resample/halving dynamics, and the coverage

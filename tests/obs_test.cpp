@@ -3,6 +3,7 @@
 // the span tracer (parenting, schema, log correlation).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -155,6 +156,67 @@ TEST(Export, PrometheusGolden) {
             "ascdg_demo_us_bucket{le=\"+Inf\"} 3\n"
             "ascdg_demo_us_sum 106\n"
             "ascdg_demo_us_count 3\n");
+}
+
+TEST(Export, LabelValuesAreEscapedInPrometheusText) {
+  Registry reg;
+  // A hostile label value: backslash, double quote, newline. Unescaped,
+  // any of these breaks the exposition line (the newline would even
+  // smuggle in a fake series).
+  reg.counter("ascdg_esc_total", {{"path", "a\\b\"c\nd"}}).add(1);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("ascdg_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // The raw newline must not survive into the output body.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos) << text;
+}
+
+TEST(Export, EscapedLabelValuesStayValidJson) {
+  Registry reg;
+  reg.counter("ascdg_esc_total", {{"path", "a\"b\nc"}}).add(2);
+  std::ostringstream os;
+  write_json(os, reg.snapshot());
+  const std::string text = os.str();
+  // The JSON exporter re-escapes the rendered label string: the quote
+  // arrives double-escaped, and no raw newline appears inside a string.
+  EXPECT_NE(text.find("\\\\\\\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\\\\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("a\"b"), std::string::npos) << text;
+}
+
+TEST(Histogram, PowerOfTwoBoundariesLandInTheOpeningBucket) {
+  Registry reg;
+  Histogram& hist = reg.histogram("test_edges");
+  // Bucket i spans [2^i, 2^(i+1)): every exact power of two opens its
+  // own bucket, and the value one below it closes the previous one.
+  for (std::size_t i = 1; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t edge = 1ULL << i;
+    hist.observe(edge);
+    EXPECT_EQ(hist.bucket(i), 1u) << "edge 2^" << i;
+    hist.observe(edge - 1);
+    // Bucket i-1 holds the previous iteration's opening edge (2^(i-1))
+    // plus this closing value — except bucket 0, which only sees 2^1-1.
+    EXPECT_EQ(hist.bucket(i - 1), i == 1 ? 1u : 2u) << "below edge 2^" << i;
+  }
+}
+
+TEST(Histogram, ZeroAndHugeValuesUseTheEndBuckets) {
+  Registry reg;
+  Histogram& hist = reg.histogram("test_extremes");
+  hist.observe(0);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  // Everything at or past 2^(kBuckets-1) belongs to the open-ended top
+  // bucket, including the largest representable value.
+  hist.observe(1ULL << (Histogram::kBuckets - 1));
+  hist.observe(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(hist.bucket(Histogram::kBuckets - 1), 2u);
+  EXPECT_EQ(hist.count(), 3u);
+  // The sum wraps modulo 2^64 by design (relaxed uint64 accumulator);
+  // the count stays exact.
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(hist.bucket(i), 0u) << "bucket " << i;
+  }
 }
 
 TEST(Export, JsonSnapshotShape) {

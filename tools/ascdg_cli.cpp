@@ -13,8 +13,10 @@
 //             [--sample-sims N] [--iterations N] [--directions N]
 //             [--point-sims N] [--harvest N] [--seed S] [--refine]
 //             [--save-best FILE] [--csv FILE] [--metrics FILE]
+//             [--serve[=PORT]] [--watchdog=SECS] [--flight-recorder=K]
 //   ascdg metrics-dump [unit] [--sims N] [--json]
 //
+// Unknown flags are rejected (exit 1) rather than silently ignored.
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
 #include <cstring>
 #include <fstream>
@@ -32,8 +34,11 @@
 #include "duv/registry.hpp"
 #include "neighbors/neighbors.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "report/report.hpp"
 #include "stimgen/profile.hpp"
 #include "tac/tac.hpp"
@@ -69,6 +74,12 @@ commands:
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
       [--save-before FILE.csv] [--before-csv FILE.csv]
       [--trace FILE.jsonl] [--metrics FILE.json]
+      [--serve[=PORT]] (live HTTP introspection on 127.0.0.1; bare
+                        --serve picks an ephemeral port)
+      [--watchdog=SECS] (flip /healthz to degraded after SECS without
+                         progress while work is outstanding)
+      [--flight-recorder=K] (keep the last K trace records in memory;
+                             dumped on stall, crash, or /flightrecorder)
   metrics-dump [unit] [--sims N]     run a small workload and dump the
       [--json]                       metrics registry (Prometheus text,
                                      or one JSON object with --json)
@@ -408,6 +419,24 @@ int cmd_run(Args& args) {
   config.eval_cache = args.onoff_value("--eval-cache", true);
   config.refine_with_real_target = args.flag("--refine");
 
+  // Live introspection. Bare `--serve` (consumed first so value() below
+  // cannot eat the next flag as a port) means "ephemeral port"; the
+  // spelled form must be `--serve=PORT`.
+  if (args.flag("--serve")) {
+    config.serve_port = 0;
+  } else if (const auto port = args.value("--serve"); port.has_value()) {
+    const auto parsed = util::parse_int(*port);
+    if (!parsed.has_value() || *parsed < 0 || *parsed > 65535) {
+      throw util::ConfigError("bad value for --serve: '" + *port + "'");
+    }
+    config.serve_port = static_cast<std::uint16_t>(*parsed);
+  }
+  config.watchdog_stall_secs = args.size_value("--watchdog", 0);
+  config.flight_recorder_records = args.size_value("--flight-recorder", 0);
+
+  // Declared before the tracer so it outlives the mirror (destruction
+  // runs in reverse order).
+  std::unique_ptr<obs::FlightRecorder> recorder;
   std::unique_ptr<obs::Tracer> trace;
   std::string trace_path;
   if (const auto path = args.value("--trace"); path.has_value()) {
@@ -416,6 +445,46 @@ int cmd_run(Args& args) {
     config.trace = trace.get();
   }
   const auto metrics_path = args.value("--metrics");
+
+  // The recorder mirrors the trace stream, so it needs a Tracer even
+  // when no --trace file was asked for (a sink-less one records only
+  // into the ring).
+  if (config.flight_recorder_records != 0) {
+    recorder =
+        std::make_unique<obs::FlightRecorder>(config.flight_recorder_records);
+    if (trace == nullptr) {
+      trace = std::make_unique<obs::Tracer>();
+      config.trace = trace.get();
+    }
+    trace->mirror_to(recorder.get());
+    obs::set_flight_recorder(recorder.get());
+    obs::install_crash_dump();
+  }
+  // Clear the crash-dump pointer before `recorder` dies (this guard is
+  // declared after it), so a late fatal signal never chases a dangling
+  // ring.
+  const struct RecorderGuard {
+    ~RecorderGuard() { obs::set_flight_recorder(nullptr); }
+  } recorder_guard{};
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (config.watchdog_stall_secs != 0) {
+    obs::WatchdogConfig wd_config;
+    wd_config.stall_after =
+        std::chrono::seconds(config.watchdog_stall_secs);
+    wd_config.trace = config.trace;
+    watchdog = std::make_unique<obs::Watchdog>(obs::registry(), wd_config);
+  }
+  std::unique_ptr<obs::HttpServer> server;
+  if (config.serve_port.has_value()) {
+    obs::HttpServerConfig http_config;
+    http_config.port = *config.serve_port;
+    http_config.watchdog = watchdog.get();
+    http_config.recorder = recorder.get();
+    server = std::make_unique<obs::HttpServer>(http_config);
+    std::cerr << "serving live introspection on http://127.0.0.1:"
+              << server->port()
+              << " (/metrics /metrics.json /healthz /runz /flightrecorder)\n";
+  }
 
   batch::SimFarm farm;
   coverage::CoverageRepository repo(unit->space().size());
@@ -546,9 +615,12 @@ int main(int argc, char** argv) {
       return usage();
     }
     if (rc == 0 && !args.rest().empty()) {
-      std::cerr << "warning: unrecognized arguments:";
+      // Unknown flags fail the command: a typo like --wachdog=30 that
+      // silently no-ops is worse than an error.
+      std::cerr << "error: unrecognized argument(s):";
       for (const auto& arg : args.rest()) std::cerr << ' ' << arg;
-      std::cerr << '\n';
+      std::cerr << "\nrun `ascdg` without arguments for usage\n";
+      return 1;
     }
     return rc;
   } catch (const std::exception& err) {
