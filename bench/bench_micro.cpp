@@ -9,6 +9,8 @@
 #include "batch/sim_farm.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/repository.hpp"
+#include "flow/artifacts.hpp"
+#include "flow/session.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
@@ -293,6 +295,42 @@ void BM_FarmRunAllServeOn(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations() * kJobs * kSimsPerJob));
 }
 BENCHMARK(BM_FarmRunAllServeOn)->Arg(2)->Arg(8);
+
+// One durable optimizer-iteration checkpoint: serialize a realistically
+// sized IfCheckpoint (20-dim template space, 10 completed iterations)
+// and write it atomically (temp + rename) into a session directory.
+// This is the only extra cost a sessioned run pays per optimizer
+// iteration, so it must stay negligible next to the iteration's
+// simulation budget (thousands of sims).
+void BM_SessionCheckpoint(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  opt::IfCheckpoint ckpt;
+  ckpt.next_iteration = 10;
+  ckpt.center.assign(dim, 0.333333333333);
+  ckpt.center_value = 0.125;
+  ckpt.step = 0.05;
+  ckpt.evaluations = 10 * (dim + 1);
+  ckpt.best_point.assign(dim, 0.666666666666);
+  ckpt.best_value = 0.25;
+  ckpt.rng_state = {0xDEADBEEFCAFEBABEULL, 0x123456789ABCDEF0ULL, 42ULL, 7ULL};
+  ckpt.eval_seed_counter = 1234;
+  for (std::size_t i = 0; i < 10; ++i) {
+    opt::IterationRecord record;
+    record.iteration = i;
+    record.center_value = 0.01 * static_cast<double>(i);
+    record.evaluations = (i + 1) * (dim + 1);
+    ckpt.trace.push_back(record);
+  }
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ascdg_bench_session";
+  const std::filesystem::path file = dir / "optimization.ckpt.json";
+  for (auto _ : state) {
+    flow::atomic_write_file(file, flow::to_json(ckpt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SessionCheckpoint)->Arg(20)->Arg(100);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

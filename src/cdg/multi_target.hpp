@@ -1,57 +1,14 @@
-// Multi-target CDG — the paper's §VI future-work direction:
-//
-//   "the number of simulations required to hit each uncovered event ...
-//    may be too high when many uncovered events are involved. We are
-//    currently investigating methods that ... reduce the number of
-//    simulations per event by using the same simulations for several
-//    target events."
-//
-// The key observation: the random-sampling phase records the FULL
-// per-event statistics of every sampled template, so one sampling pass
-// can serve any number of targets — each target just re-scores the same
-// samples with its own objective and starts its optimization from its
-// own best sample. Only the (cheaper, focused) optimization and harvest
-// phases are per-target.
+// Source-compatibility shim: the multi-target driver moved to the flow
+// engine as the session-backed campaign driver (flow/campaign.hpp).
 #pragma once
 
-#include <span>
-#include <vector>
-
-#include "cdg/runner.hpp"
+#include "flow/campaign.hpp"
 
 namespace ascdg::cdg {
 
-struct MultiTargetResult {
-  /// The shared sampling phase (paid once).
-  RandomSampleResult sampling;
-  /// One flow result per target. The `sampling` member of each result
-  /// is re-scored against that target (same stats, its own best index);
-  /// sampling_phase.sims is attributed only to the first target so that
-  /// summing flow_sims() over results gives the true total cost.
-  std::vector<FlowResult> per_target;
-  /// Simulations the shared sampling phase saved versus running the
-  /// full flow independently per target.
-  std::size_t sims_saved = 0;
+using flow::MultiTargetResult;
 
-  [[nodiscard]] std::size_t total_sims() const noexcept {
-    std::size_t total = 0;
-    for (const auto& result : per_target) total += result.flow_sims();
-    return total;
-  }
-};
-
-/// Re-scores a sampling result against a different target: returns the
-/// index of the sample with the best target value.
-[[nodiscard]] std::size_t best_sample_for(const RandomSampleResult& sampling,
-                                          const neighbors::ApproximatedTarget& target);
-
-/// Runs the shared-sampling multi-target flow: one sampling phase of
-/// the skeletonized `seed_template`, then per-target optimization and
-/// harvest with `config`'s budgets. Throws util::ConfigError when
-/// `targets` is empty.
-[[nodiscard]] MultiTargetResult run_multi_target(
-    const duv::Duv& duv, batch::SimFarm& farm, const FlowConfig& config,
-    std::span<const neighbors::ApproximatedTarget> targets,
-    const tgen::TestTemplate& seed_template);
+using flow::best_sample_for;
+using flow::run_multi_target;
 
 }  // namespace ascdg::cdg

@@ -1,0 +1,58 @@
+// JSON round-trip for the stage pipeline's checkpoint artifacts.
+//
+// Each serializer emits compact JSON through util::JsonObject (doubles
+// render shortest-round-trip, so values parse back bit-identically) and
+// each reader reconstructs the typed result from util::json_parse
+// output, throwing util::Error / util::ParseError on corrupt input.
+// 64-bit quantities that a JSON double cannot hold exactly (seeds,
+// fingerprints, raw RNG state) travel as 0x-prefixed hex strings.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cdg/random_sample.hpp"
+#include "coverage/repository.hpp"
+#include "flow/types.hpp"
+#include "opt/implicit_filtering.hpp"
+#include "util/json.hpp"
+
+namespace ascdg::flow {
+
+/// 0x-prefixed, zero-padded 16-digit hex — the manifest encoding for
+/// 64-bit values (JSON doubles are only exact to 2^53).
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
+/// Inverse of hex_u64; throws util::Error for a non-hex string.
+[[nodiscard]] std::uint64_t parse_hex_u64(const util::JsonValue& value);
+
+[[nodiscard]] std::string to_json(const coverage::SimStats& stats);
+[[nodiscard]] coverage::SimStats sim_stats_from_json(
+    const util::JsonValue& value);
+
+[[nodiscard]] std::string to_json(const PhaseOutcome& phase);
+[[nodiscard]] PhaseOutcome phase_outcome_from_json(
+    const util::JsonValue& value);
+
+[[nodiscard]] std::string to_json(const cdg::RandomSampleResult& sampling);
+[[nodiscard]] cdg::RandomSampleResult sampling_from_json(
+    const util::JsonValue& value);
+
+[[nodiscard]] std::string to_json(const opt::OptResult& result);
+[[nodiscard]] opt::OptResult opt_result_from_json(const util::JsonValue& value);
+
+[[nodiscard]] std::string to_json(const opt::IfCheckpoint& ckpt);
+[[nodiscard]] opt::IfCheckpoint checkpoint_from_json(
+    const util::JsonValue& value);
+
+[[nodiscard]] std::string json_double_array(std::span<const double> values);
+[[nodiscard]] std::vector<double> double_array_from_json(
+    const util::JsonValue& value);
+
+/// Reads and parses one JSON artifact. Throws util::Error when the file
+/// cannot be read, util::ParseError when it is not valid JSON.
+[[nodiscard]] util::JsonValue read_json_file(const std::filesystem::path& path);
+
+}  // namespace ascdg::flow

@@ -1,0 +1,48 @@
+#include "flow/pipeline.hpp"
+
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace ascdg::flow {
+
+Pipeline& Pipeline::add(std::unique_ptr<Stage> stage) {
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+std::vector<std::string> Pipeline::stage_names() const {
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& stage : stages_) names.emplace_back(stage->name());
+  return names;
+}
+
+void Pipeline::execute(StageContext& ctx) {
+  using Clock = StageContext::Clock;
+  for (const auto& stage : stages_) {
+    const std::string name(stage->name());
+    if (ctx.session != nullptr && ctx.session->stage_done(name)) {
+      stage->load(ctx);
+      util::log_info("session: stage '", name,
+                     "' restored from checkpoint (0 simulations)");
+      continue;
+    }
+    if (ctx.session != nullptr) ctx.session->mark_running(name);
+    const std::size_t sims_before =
+        ctx.farm != nullptr ? ctx.farm->total_simulations() : 0;
+    const auto start = Clock::now();
+    stage->run(ctx);
+    if (ctx.session != nullptr) {
+      stage->save(ctx);
+      const std::size_t sims_after =
+          ctx.farm != nullptr ? ctx.farm->total_simulations() : 0;
+      ctx.session->mark_done(
+          name, sims_after - sims_before,
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+  }
+}
+
+}  // namespace ascdg::flow

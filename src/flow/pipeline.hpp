@@ -1,0 +1,36 @@
+// Pipeline: executes stages in order against one StageContext.
+//
+// With a session attached, every stage boundary is a durable
+// checkpoint: the stage is marked "running" in the manifest, run, its
+// artifact written atomically, then marked "done" with the simulations
+// and wall time it cost (simulations measured as the farm's counter
+// delta, so the manifest reconciles with the paper's cost metric). A
+// stage already recorded "done" is restored from its artifact via
+// load() instead — completed stages cost zero simulations on resume.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/stage.hpp"
+
+namespace ascdg::flow {
+
+class Pipeline {
+ public:
+  Pipeline& add(std::unique_ptr<Stage> stage);
+
+  /// Manifest stage list, in execution order.
+  [[nodiscard]] std::vector<std::string> stage_names() const;
+
+  /// Runs (or restores) every stage in order. Exceptions from a stage
+  /// propagate; the session then still records the stage as "running",
+  /// which a later resume treats as interrupted.
+  void execute(StageContext& ctx);
+
+ private:
+  std::vector<std::unique_ptr<Stage>> stages_;
+};
+
+}  // namespace ascdg::flow

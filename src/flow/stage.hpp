@@ -1,0 +1,85 @@
+// The Stage interface of the flow engine.
+//
+// The old monolithic CdgRunner::run_from_template is decomposed into
+// stages (coarse search, skeletonize, sample, optimize, refine,
+// harvest), each owning three responsibilities:
+//
+//   run()  — do the work: simulate, mutate the shared StageContext, and
+//            emit the stage's spans / trace events / log lines exactly
+//            as the monolith did (telemetry parity is load-bearing:
+//            tests reconcile per-phase sims against the farm's books).
+//   save() — persist the stage's output as a session artifact
+//            (atomic write; only called when a session is attached).
+//   load() — reconstruct the stage's output from its artifact instead
+//            of re-simulating (resume path; loaded stages are silent —
+//            they cost zero simulations and emit no telemetry).
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "coverage/repository.hpp"
+#include "duv/duv.hpp"
+#include "flow/session.hpp"
+#include "flow/types.hpp"
+#include "neighbors/neighbors.hpp"
+#include "obs/phase_scope.hpp"
+#include "obs/trace.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::flow {
+
+/// Everything a stage can read or produce. One context instance lives
+/// for the duration of a pipeline execution; stages communicate only
+/// through it (and through the FlowResult it points at).
+struct StageContext {
+  using Clock = std::chrono::steady_clock;
+
+  const duv::Duv* duv = nullptr;
+  batch::SimFarm* farm = nullptr;
+  const FlowConfig* config = nullptr;
+  const neighbors::ApproximatedTarget* target = nullptr;
+  /// nullptr for an ephemeral (un-sessioned) run.
+  Session* session = nullptr;
+  FlowResult* result = nullptr;
+
+  // Coarse-search inputs (only set by CdgRunner::run).
+  const coverage::CoverageRepository* before = nullptr;
+  std::span<const tgen::TestTemplate> suite_templates{};
+
+  /// The seed template the flow skeletonizes — produced by the coarse
+  /// stage or supplied by run_from_template.
+  tgen::TestTemplate seed_template;
+
+  /// Hand-off from optimize through refine to harvest: the point the
+  /// best template is instantiated from.
+  std::vector<double> best_point;
+
+  // The paper's "optimization phase" covers implicit filtering AND the
+  // optional real-objective refinement, so its span / phase scope /
+  // wall clock open in OptimizeStage and close in RefineStage. On a
+  // resume that skips the optimize stage these stay empty and
+  // RefineStage opens its own scope; `opt_wall_base` then carries the
+  // already-spent wall time loaded from the optimize artifact.
+  std::optional<obs::Span> opt_span;
+  std::optional<obs::PhaseScope> opt_scope;
+  std::optional<Clock::time_point> opt_start;
+  double opt_wall_base = 0.0;
+};
+
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  /// Stable stage name — the manifest key and artifact-file prefix.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  virtual void run(StageContext& ctx) = 0;
+  virtual void save(StageContext& ctx) const = 0;
+  virtual void load(StageContext& ctx) const = 0;
+};
+
+}  // namespace ascdg::flow

@@ -164,6 +164,8 @@ std::string HttpServer::handle(std::string_view method,
         .add("phase", run.current_phase())
         .add_raw("phase_stack", stack)
         .add("seed_template", run.seed_template)
+        .add("resumed", !run.resumed_from.empty())
+        .add("resumed_from", run.resumed_from)
         .add("opt_started", run.opt_started)
         .add("opt_iteration", run.opt_iteration)
         .add("opt_best_value", run.opt_best_value)

@@ -1,0 +1,46 @@
+// RAII flow-phase marker for the live-introspection surface: pushes the
+// phase onto obs::run_state()'s stack (visible at /runz) and, on exit,
+// publishes the phase's CPU/RSS footprint as ascdg_phase_*{phase=...}
+// gauges. Extracted from the CDG runner so every pipeline stage (and
+// any future long-running scope) can mark itself the same way.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/resource.hpp"
+#include "obs/run_state.hpp"
+
+namespace ascdg::obs {
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(std::string name)
+      : name_(std::move(name)), start_(read_resource_usage()) {
+    run_state().enter_phase(name_);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() { end(); }
+
+  /// Idempotent early exit (the destructor is a no-op afterwards).
+  void end() noexcept {
+    if (ended_) return;
+    ended_ = true;
+    try {
+      update_phase_resource_gauges(registry(), name_, start_,
+                                   read_resource_usage());
+    } catch (...) {
+      // Telemetry must never fail the flow.
+    }
+    run_state().exit_phase();
+  }
+
+ private:
+  std::string name_;
+  ResourceUsage start_;
+  bool ended_ = false;
+};
+
+}  // namespace ascdg::obs

@@ -43,6 +43,12 @@ void RunState::set_coverage(std::uint64_t targets_hit,
   ++state_.updates;
 }
 
+void RunState::set_resumed_from(std::string_view stage) {
+  const std::scoped_lock lock(mutex_);
+  state_.resumed_from = std::string(stage);
+  ++state_.updates;
+}
+
 void RunState::reset() {
   const std::scoped_lock lock(mutex_);
   const std::uint64_t updates = state_.updates + 1;

@@ -30,6 +30,11 @@ class RunState {
     std::uint64_t targets_remaining = 0;
     bool coverage_known = false;
     std::uint64_t updates = 0;            ///< total mutations (progress signal)
+    /// Last completed stage when this run resumed a durable session
+    /// ("" = not a resumed run; "none" = resumed before any stage
+    /// completed). Surfaces at /runz so an operator can tell a resumed
+    /// run from a fresh one.
+    std::string resumed_from;
 
     /// Innermost phase, or "idle" when no flow is running.
     [[nodiscard]] std::string current_phase() const {
@@ -45,6 +50,9 @@ class RunState {
   /// best objective value so far.
   void set_optimizer(std::uint64_t iteration, double best_value);
   void set_coverage(std::uint64_t targets_hit, std::uint64_t targets_remaining);
+  /// See Snapshot::resumed_from. Sticky across start_flow (the resume
+  /// is announced before the flow starts).
+  void set_resumed_from(std::string_view stage);
   /// Clears everything back to idle (flow end, or test isolation).
   void reset();
 

@@ -106,6 +106,9 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
   OptResult result;
   std::vector<double> center = clamped(x0, options.lower, options.upper);
   double h = options.initial_step;
+  double center_value = 0.0;
+  std::size_t stale_rounds = 0;
+  std::size_t start_iteration = 0;
 
   // All evaluations go through one batched dispatch: eval seeds are
   // drawn sequentially in point order, so the trajectory is identical
@@ -129,11 +132,54 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
     result.reason = StopReason::kMaxEvaluations;
     return result;
   }
-  double center_value = sample_batch({&center, 1}).front();
-  result.best_value = center_value;
-  std::size_t stale_rounds = 0;
+  if (options.resume != nullptr) {
+    // Warm start: restore the complete iteration state, including the
+    // direction generator and the eval-seed counter, so the resumed
+    // trajectory is indistinguishable from the uninterrupted one.
+    const IfCheckpoint& ckpt = *options.resume;
+    if (ckpt.center.size() != dim) {
+      throw util::ConfigError(
+          "implicit filtering resume: checkpoint dimension " +
+          std::to_string(ckpt.center.size()) + " != objective dimension " +
+          std::to_string(dim));
+    }
+    start_iteration = ckpt.next_iteration;
+    center = clamped(ckpt.center, options.lower, options.upper);
+    center_value = ckpt.center_value;
+    h = ckpt.step;
+    stale_rounds = ckpt.stale_rounds;
+    evaluations = ckpt.evaluations;
+    result.best_point = ckpt.best_point;
+    result.best_value = ckpt.best_value;
+    result.trace = ckpt.trace;
+    rng.restore(ckpt.rng_state);
+    eval_seeds = util::SeedStream(eval_seeds.root(), ckpt.eval_seed_counter);
+    // Re-apply the stop conditions the checkpointed iteration may have
+    // already triggered (the original run breaks before checkpointing
+    // again, so the decision must be reproduced here).
+    if (options.target_value.has_value() &&
+        center_value >= *options.target_value) {
+      result.reason = StopReason::kTargetReached;
+      result.evaluations = evaluations;
+      return result;
+    }
+    if (h < options.min_step) {
+      result.reason = StopReason::kMinStep;
+      result.evaluations = evaluations;
+      return result;
+    }
+    if (evaluations >= options.max_evaluations) {
+      result.reason = StopReason::kMaxEvaluations;
+      result.evaluations = evaluations;
+      return result;
+    }
+  } else {
+    center_value = sample_batch({&center, 1}).front();
+    result.best_value = center_value;
+  }
 
-  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+  for (std::size_t iter = start_iteration; iter < options.max_iterations;
+       ++iter) {
     if (evaluations >= options.max_evaluations) {
       result.reason = StopReason::kMaxEvaluations;
       break;
@@ -222,6 +268,22 @@ OptResult implicit_filtering(Objective& objective, std::span<const double> x0,
                               .add("moved", moved)
                               .add("resamples", resamples)
                               .add("halved", halved));
+    }
+
+    if (options.on_checkpoint) {
+      IfCheckpoint ckpt;
+      ckpt.next_iteration = iter + 1;
+      ckpt.center = center;
+      ckpt.center_value = center_value;
+      ckpt.step = h;
+      ckpt.stale_rounds = stale_rounds;
+      ckpt.evaluations = evaluations;
+      ckpt.best_point = result.best_point;
+      ckpt.best_value = result.best_value;
+      ckpt.trace = result.trace;
+      ckpt.rng_state = rng.state();
+      ckpt.eval_seed_counter = eval_seeds.counter();
+      options.on_checkpoint(ckpt);
     }
 
     if (options.target_value.has_value() && center_value >= *options.target_value) {

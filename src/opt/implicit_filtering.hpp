@@ -11,16 +11,39 @@
 // extremely high noise".
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 #include "opt/objective.hpp"
 
 namespace ascdg::opt {
+
+/// Complete mid-run state of an implicit-filtering search, captured
+/// after every iteration. A run restarted from a checkpoint (via
+/// ImplicitFilteringOptions::resume) continues *bit-identically* to the
+/// uninterrupted run: the direction generator's raw state and the
+/// eval-seed counter are part of the checkpoint, so the resumed
+/// trajectory replays the exact same stencils and noise realizations.
+struct IfCheckpoint {
+  std::size_t next_iteration = 0;  ///< first iteration still to run
+  std::vector<double> center;
+  double center_value = 0.0;
+  double step = 0.0;               ///< h going into next_iteration
+  std::size_t stale_rounds = 0;    ///< improvement-free streak
+  std::size_t evaluations = 0;
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  std::vector<IterationRecord> trace;  ///< completed iterations
+  std::array<std::uint64_t, 4> rng_state{};  ///< direction generator
+  std::uint64_t eval_seed_counter = 0;       ///< seeds drawn so far
+};
 
 enum class DirectionMode {
   kRandomSphere,  ///< uniformly random unit directions: each coordinate
@@ -60,6 +83,19 @@ struct ImplicitFilteringOptions {
   /// current span. `trace_label` distinguishes concurrent runs.
   obs::Tracer* trace = nullptr;
   std::string trace_label = "opt";
+
+  /// Durable-session hook: called after every completed iteration with
+  /// the full resumable state. Checkpoint cost is the caller's (the
+  /// session layer writes it to disk); evaluation dispatch never waits
+  /// on it. Exceptions propagate and abort the run.
+  std::function<void(const IfCheckpoint&)> on_checkpoint;
+
+  /// Warm start from a previous run's checkpoint (not owned; read once
+  /// at entry). `x0` is ignored apart from its dimension check, and the
+  /// resumed run reproduces the uninterrupted run exactly — including
+  /// re-applying the stop conditions the checkpointed iteration may
+  /// already have triggered.
+  const IfCheckpoint* resume = nullptr;
 };
 
 /// Runs implicit filtering from `x0` (clamped into the box).

@@ -172,11 +172,28 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
   os << "  (iteration)\n";
 }
 
+void render_session(std::ostream& os, const flow::SessionSummary& session) {
+  os << "Session directory: `" << session.dir << "`  \n"
+     << "Seed: " << session.seed << "  \n"
+     << "Resumes: " << session.resumes;
+  if (!session.resumed_from.empty()) {
+    os << " (last resumed from: " << session.resumed_from << ")";
+  }
+  os << "\n\n"
+     << "| stage | status | sims | wall ms |\n"
+     << "| --- | --- | ---: | ---: |\n";
+  for (const auto& stage : session.stages) {
+    os << "| " << stage.name << " | " << stage.status << " | " << stage.sims
+       << " | " << util::format_number(stage.wall_ms, 1) << " |\n";
+  }
+}
+
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
                          const cdg::FlowResult& flow,
-                         const batch::TelemetrySnapshot* farm) {
+                         const batch::TelemetrySnapshot* farm,
+                         const flow::SessionSummary* session) {
   if (path.has_parent_path()) {
     std::error_code ec;
     std::filesystem::create_directories(path.parent_path(), ec);
@@ -223,6 +240,11 @@ void write_flow_markdown(const std::filesystem::path& path,
 
   os << "\n## Run health\n\n";
   render_run_health(os, obs::registry().snapshot());
+
+  if (session != nullptr) {
+    os << "\n## Session\n\n";
+    render_session(os, *session);
+  }
 
   os << "\n## Harvested test-template\n\n```\n"
      << tgen::to_text(flow.best_template) << "```\n";

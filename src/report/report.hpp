@@ -85,17 +85,24 @@ void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot);
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
                         const cdg::FlowResult& flow);
 
+/// Renders a durable-session manifest summary as a markdown fragment:
+/// the session directory, seed, resume count, where the last resume
+/// picked up, and the per-stage status/sims/wall table.
+void render_session(std::ostream& os, const flow::SessionSummary& session);
+
 /// Writes a complete markdown report of a flow run — caption, the
 /// Fig. 3/4-style phase table, the status summary, the optimization
 /// trace as a markdown table, the convergence section, run telemetry,
 /// and the harvested template — to `path`. When `farm` is non-null its
-/// counters are appended to the telemetry section. Throws util::Error
-/// on IO failure.
+/// counters are appended to the telemetry section; when `session` is
+/// non-null a "Session" section describes the durable session the run
+/// checkpointed into. Throws util::Error on IO failure.
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
                          const cdg::FlowResult& flow,
-                         const batch::TelemetrySnapshot* farm = nullptr);
+                         const batch::TelemetrySnapshot* farm = nullptr,
+                         const flow::SessionSummary* session = nullptr);
 
 /// Writes the machine-readable metrics snapshot of a flow run: one JSON
 /// object (schema "ascdg-run-metrics-v1") holding the per-iteration

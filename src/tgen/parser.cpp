@@ -67,8 +67,12 @@ class Lexer {
     return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
   }
   static bool is_ident_char(char c) noexcept {
+    // '+' continues (but never starts) an identifier: the coarse search
+    // names merged seed templates "a+b+c", and session artifacts must
+    // round-trip those names through the DSL. Tokens starting with '+'
+    // still lex as numbers, so "x: +3" is unaffected.
     return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
-           c == '.';
+           c == '.' || c == '+';
   }
   static bool is_number_start(char c) noexcept {
     return std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||

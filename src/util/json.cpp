@@ -1,0 +1,323 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ascdg::util {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, JsonValue::Kind got) {
+  const char* name = "?";
+  switch (got) {
+    case JsonValue::Kind::kNull: name = "null"; break;
+    case JsonValue::Kind::kBool: name = "bool"; break;
+    case JsonValue::Kind::kNumber: name = "number"; break;
+    case JsonValue::Kind::kString: name = "string"; break;
+    case JsonValue::Kind::kArray: name = "array"; break;
+    case JsonValue::Kind::kObject: name = "object"; break;
+  }
+  throw Error(std::string("json: expected ") + wanted + ", got " + name);
+}
+
+/// Recursive-descent parser over the whole document. Tracks the current
+/// line so every error points at its source.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("json: " + message, line_);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const noexcept { return text_[pos_]; }
+
+  char next() {
+    const char c = text_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      (void)next();
+    }
+  }
+
+  void expect(char wanted) {
+    if (eof() || peek() != wanted) {
+      fail(std::string("expected '") + wanted + "'");
+    }
+    (void)next();
+  }
+
+  void expect_literal(std::string_view literal) {
+    for (const char c : literal) {
+      if (eof() || next() != c) {
+        fail("invalid literal (expected '" + std::string(literal) + "')");
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        expect_literal("true");
+        return JsonValue(true);
+      case 'f':
+        expect_literal("false");
+        return JsonValue(false);
+      case 'n':
+        expect_literal("null");
+        return JsonValue();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_whitespace();
+    if (!eof() && peek() == '}') {
+      (void)next();
+      return JsonValue(std::move(members));
+    }
+    for (;;) {
+      skip_whitespace();
+      if (eof() || peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      members.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated object");
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return JsonValue(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array items;
+    skip_whitespace();
+    if (!eof() && peek() == ']') {
+      (void)next();
+      return JsonValue(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_whitespace();
+      if (eof()) fail("unterminated array");
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return JsonValue(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape sequence");
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("truncated \\u escape");
+      const char c = next();
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("lone high surrogate in \\u escape");
+      }
+      (void)next();
+      (void)next();
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) {
+        fail("invalid low surrogate in \\u escape");
+      }
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("lone low surrogate in \\u escape");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') (void)next();
+    if (eof() || peek() < '0' || peek() > '9') fail("invalid number");
+    // RFC 8259: no leading zeros on multi-digit integer parts.
+    if (peek() == '0') {
+      (void)next();
+      if (!eof() && peek() >= '0' && peek() <= '9') {
+        fail("leading zero in number");
+      }
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') (void)next();
+    }
+    if (!eof() && peek() == '.') {
+      (void)next();
+      if (eof() || peek() < '0' || peek() > '9') fail("truncated fraction");
+      while (!eof() && peek() >= '0' && peek() <= '9') (void)next();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      (void)next();
+      if (!eof() && (peek() == '+' || peek() == '-')) (void)next();
+      if (eof() || peek() < '0' || peek() > '9') fail("truncated exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9') (void)next();
+    }
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [end, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc{} || end != last) fail("unparseable number");
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return string_;
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  const double value = as_double();
+  if (!std::isfinite(value) || std::nearbyint(value) != value ||
+      std::abs(value) > 0x1.0p53) {
+    throw Error("json: number is not an exact integer");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  const std::int64_t value = as_int64();
+  if (value < 0) throw Error("json: number is negative");
+  return static_cast<std::uint64_t>(value);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* value = find(key);
+  if (value == nullptr) {
+    throw NotFoundError("json: missing key '" + std::string(key) + "'");
+  }
+  return *value;
+}
+
+JsonValue json_parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace ascdg::util

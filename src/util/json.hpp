@@ -1,0 +1,92 @@
+// Minimal RFC 8259 JSON reader — the read side of util/jsonl.hpp.
+//
+// The session layer persists manifests and stage artifacts with the
+// append-only JsonObject builder; resuming a run needs to read them
+// back. json_parse() round-trips everything JsonObject can emit
+// (objects, arrays, strings with escapes, shortest-round-trip doubles,
+// integers, booleans, and the null that non-finite doubles render as)
+// and is deliberately dependency-free: no allocator tricks, no SIMD,
+// just a recursive-descent parser that is nowhere near any hot path.
+//
+// Errors throw util::ParseError carrying the 1-based line of the
+// offending byte, matching the template-DSL parser's convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ascdg::util {
+
+/// One parsed JSON value. Object members keep document order (JsonObject
+/// emits in insertion order, and manifests are diffed by humans).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  explicit JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}
+  explicit JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  explicit JsonValue(Array value)
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  explicit JsonValue(Object value)
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+
+  // Checked accessors. Throws util::Error on a kind mismatch — callers
+  // (the session layer) treat that as a corrupt artifact.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// as_double() checked and converted to an integer type; throws
+  /// util::Error when the number is not exactly representable (NaN,
+  /// fractional, negative for unsigned, or beyond 2^53).
+  [[nodiscard]] std::int64_t as_int64() const;
+  [[nodiscard]] std::uint64_t as_uint64() const;
+  [[nodiscard]] std::size_t as_size() const {
+    return static_cast<std::size_t>(as_uint64());
+  }
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member lookup; throws util::NotFoundError when absent.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected). Throws util::ParseError with the 1-based
+/// line number of the first offending byte.
+[[nodiscard]] JsonValue json_parse(std::string_view text);
+
+}  // namespace ascdg::util

@@ -96,6 +96,15 @@ class Xoshiro256 {
   /// Standard normal via Box–Muller (polar form not needed; precision fine).
   double normal() noexcept;
 
+  /// The raw 256-bit state, for checkpointing a generator mid-stream
+  /// (the optimizer's resume path). restore(state()) round-trips.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return state_;
+  }
+  constexpr void restore(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -108,7 +117,11 @@ class Xoshiro256 {
 /// consumers can be seeded without any ordering dependence.
 class SeedStream {
  public:
-  constexpr explicit SeedStream(std::uint64_t root) noexcept : root_(root) {}
+  /// `start` positions the sequential counter — resuming a checkpointed
+  /// consumer continues its seed sequence exactly.
+  constexpr explicit SeedStream(std::uint64_t root,
+                                std::uint64_t start = 0) noexcept
+      : root_(root), counter_(start) {}
 
   /// Child seed for index i (pure; no internal state mutation).
   [[nodiscard]] constexpr std::uint64_t at(std::uint64_t i) const noexcept {
@@ -120,6 +133,11 @@ class SeedStream {
 
   /// Next sequential child seed (stateful convenience).
   constexpr std::uint64_t next() noexcept { return at(counter_++); }
+
+  /// Seeds handed out so far via next() — checkpoint alongside root().
+  [[nodiscard]] constexpr std::uint64_t counter() const noexcept {
+    return counter_;
+  }
 
   [[nodiscard]] constexpr std::uint64_t root() const noexcept { return root_; }
 

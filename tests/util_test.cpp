@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -582,6 +583,161 @@ TEST(Jsonl, KeysAreEscapedToo) {
   JsonObject obj;
   obj.add("we\"ird", 1);
   EXPECT_EQ(obj.str(), R"({"we\"ird":1})");
+}
+
+// --------------------------------------------------------------- json --
+//
+// json_parse must read back everything JsonObject can emit — the
+// session layer round-trips every manifest and artifact through this
+// pair.
+
+TEST(Json, RoundTripsEveryJsonObjectShape) {
+  JsonObject obj;
+  obj.add("name", "sampling")
+      .add("quoted", "a\"b\\c\nd")
+      .add("flag", true)
+      .add("off", false)
+      .add("sims", 2000u)
+      .add("neg", -42)
+      .add("big", std::uint64_t{9007199254740991ULL})  // 2^53 - 1
+      .add("half", 0.5)
+      .add("tiny", 1e-300)
+      .add("nan", std::nan(""))
+      .add_raw("buckets", "[1,2.5,-3]")
+      .add_raw("nested", R"({"inner":{"deep":[true,null]}})");
+  const JsonValue doc = json_parse(obj.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("name").as_string(), "sampling");
+  EXPECT_EQ(doc.at("quoted").as_string(), "a\"b\\c\nd");
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  EXPECT_FALSE(doc.at("off").as_bool());
+  EXPECT_EQ(doc.at("sims").as_uint64(), 2000u);
+  EXPECT_EQ(doc.at("neg").as_int64(), -42);
+  EXPECT_EQ(doc.at("big").as_uint64(), 9007199254740991ULL);
+  EXPECT_EQ(doc.at("half").as_double(), 0.5);
+  EXPECT_EQ(doc.at("tiny").as_double(), 1e-300);
+  // Non-finite doubles render as null; the reader surfaces that kind.
+  EXPECT_TRUE(doc.at("nan").is_null());
+  const auto& buckets = doc.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].as_int64(), 1);
+  EXPECT_EQ(buckets[1].as_double(), 2.5);
+  EXPECT_EQ(buckets[2].as_int64(), -3);
+  const auto& deep = doc.at("nested").at("inner").at("deep").as_array();
+  ASSERT_EQ(deep.size(), 2u);
+  EXPECT_TRUE(deep[0].as_bool());
+  EXPECT_TRUE(deep[1].is_null());
+}
+
+TEST(Json, ShortestRoundTripDoublesAreBitIdentical) {
+  // The artifact writers rely on shortest-round-trip formatting: the
+  // parsed double must equal the original bit for bit.
+  const double values[] = {0.1,     1.0 / 3.0, 6.02214076e23, -2.5e-8,
+                           1e308,   4.9e-324,  123456789.123456789};
+  for (const double v : values) {
+    JsonObject obj;
+    obj.add("v", v);
+    EXPECT_EQ(json_parse(obj.str()).at("v").as_double(), v);
+  }
+}
+
+TEST(Json, EmptyContainersAndOrderPreserved) {
+  const JsonValue doc = json_parse(R"({"b":1,"a":{},"z":[]})");
+  const auto& members = doc.as_object();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_TRUE(members[1].second.as_object().empty());
+  EXPECT_TRUE(members[2].second.as_array().empty());
+}
+
+TEST(Json, StringEscapesIncludingSurrogatePairs) {
+  const JsonValue doc = json_parse(
+      R"({"esc":"\" \\ \/ \b \f \n \r \t","bmp":"A\u00e9\u4e16",)"
+      R"("pair":"\ud83d\ude00","raw":"日本"})");
+  EXPECT_EQ(doc.at("esc").as_string(), "\" \\ / \b \f \n \r \t");
+  EXPECT_EQ(doc.at("bmp").as_string(), "A\xc3\xa9\xe4\xb8\x96");  // A é 世
+  EXPECT_EQ(doc.at("pair").as_string(), "\xf0\x9f\x98\x80");      // 😀
+  EXPECT_EQ(doc.at("raw").as_string(), "日本");  // UTF-8 passes through
+}
+
+TEST(Json, NumberFormsAndExponents) {
+  const JsonValue doc =
+      json_parse(R"([0, -0, 12, -7, 3.25, 1e3, 1E-2, 2.5e+10, -0.125])");
+  const auto& a = doc.as_array();
+  ASSERT_EQ(a.size(), 9u);
+  EXPECT_EQ(a[2].as_int64(), 12);
+  EXPECT_EQ(a[3].as_int64(), -7);
+  EXPECT_EQ(a[4].as_double(), 3.25);
+  EXPECT_EQ(a[5].as_double(), 1000.0);
+  EXPECT_EQ(a[6].as_double(), 0.01);
+  EXPECT_EQ(a[7].as_double(), 2.5e10);
+  EXPECT_EQ(a[8].as_double(), -0.125);
+}
+
+TEST(Json, ScalarDocumentsAndWhitespace) {
+  EXPECT_TRUE(json_parse("  null \n").is_null());
+  EXPECT_TRUE(json_parse("true").as_bool());
+  EXPECT_EQ(json_parse("\t42 ").as_int64(), 42);
+  EXPECT_EQ(json_parse(R"("hi")").as_string(), "hi");
+}
+
+TEST(Json, AccessorKindMismatchThrows) {
+  const JsonValue doc = json_parse(R"({"s":"x","n":1.5,"frac":0.5,"neg":-1})");
+  EXPECT_THROW((void)doc.at("s").as_double(), Error);
+  EXPECT_THROW((void)doc.at("n").as_string(), Error);
+  EXPECT_THROW((void)doc.at("s").as_array(), Error);
+  EXPECT_THROW((void)doc.as_bool(), Error);
+  // Integer conversions reject inexact values.
+  EXPECT_THROW((void)doc.at("frac").as_int64(), Error);
+  EXPECT_THROW((void)doc.at("neg").as_uint64(), Error);
+}
+
+TEST(Json, FindAndAtLookup) {
+  const JsonValue doc = json_parse(R"({"present":1})");
+  ASSERT_NE(doc.find("present"), nullptr);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+  EXPECT_THROW((void)doc.at("absent"), NotFoundError);
+  // find() on a non-object is a safe nullptr, not a throw.
+  EXPECT_EQ(json_parse("3").find("x"), nullptr);
+}
+
+TEST(Json, ParseErrorsCarryLineNumbers) {
+  const struct {
+    const char* text;
+    std::size_t line;
+  } cases[] = {
+      {"", 1},
+      {"{\"a\":1,}", 1},
+      {"{\"a\" 1}", 1},              // missing colon
+      {"[1 2]", 1},                  // missing comma
+      {"{\n\"a\": tru}", 2},         // bad literal on line 2
+      {"{\n\n\"a\": \"unterminated", 3},
+      {"{\"a\": 1} trailing", 1},    // trailing garbage
+      {"[1, 01]", 1},                // leading zero
+      {"\"bad \\q escape\"", 1},
+      {"\"lone \\ud800 surrogate\"", 1},
+      {"nan", 1},                    // not a JSON literal
+  };
+  for (const auto& c : cases) {
+    try {
+      (void)json_parse(c.text);
+      FAIL() << "expected ParseError for: " << c.text;
+    } catch (const ParseError& err) {
+      EXPECT_EQ(err.line(), c.line) << c.text;
+    }
+  }
+}
+
+TEST(Json, DeepNestingRoundTrips) {
+  std::string text;
+  for (int i = 0; i < 64; ++i) text += R"({"k":)";
+  text += "1";
+  for (int i = 0; i < 64; ++i) text += "}";
+  const JsonValue doc = json_parse(text);
+  const JsonValue* v = &doc;
+  for (int i = 0; i < 64; ++i) v = &v->at("k");
+  EXPECT_EQ(v->as_int64(), 1);
 }
 
 }  // namespace

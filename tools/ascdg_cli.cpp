@@ -12,8 +12,12 @@
 //   ascdg run <unit> --family F [--before-sims N] [--samples N]
 //             [--sample-sims N] [--iterations N] [--directions N]
 //             [--point-sims N] [--harvest N] [--seed S] [--refine]
+//             [--session DIR] [--resume]
 //             [--save-best FILE] [--csv FILE] [--metrics FILE]
 //             [--serve[=PORT]] [--watchdog=SECS] [--flight-recorder=K]
+//   ascdg campaign <unit> --families F1,F2,... [budget flags as `run`]
+//             [--seed-template NAME] [--session DIR] [--resume]
+//             [--save-best FILE]
 //   ascdg metrics-dump [unit] [--sims N] [--json]
 //
 // Unknown flags are rejected (exit 1) rather than silently ignored.
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "batch/sim_farm.hpp"
+#include "cdg/multi_target.hpp"
 #include "cdg/runner.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/holes.hpp"
@@ -72,6 +77,9 @@ commands:
       [--directions N] [--point-sims N] [--harvest N] [--seed S]
       [--eval-cache=on|off] (default on: reuse (point, seed) results)
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
+      [--session DIR] (checkpoint every stage boundary and optimizer
+                       iteration into a durable session directory)
+      [--resume] (restart from DIR's last checkpoint after a crash)
       [--save-before FILE.csv] [--before-csv FILE.csv]
       [--trace FILE.jsonl] [--metrics FILE.json]
       [--serve[=PORT]] (live HTTP introspection on 127.0.0.1; bare
@@ -80,6 +88,11 @@ commands:
                          progress while work is outstanding)
       [--flight-recorder=K] (keep the last K trace records in memory;
                              dumped on stall, crash, or /flightrecorder)
+  campaign <unit> --families F1,F2,...  multi-target flow: one shared
+      [budget flags as `run`]        sampling phase, per-target
+      [--seed-template NAME]         optimization + harvest
+      [--session DIR] [--resume]     (independently resumable per target)
+      [--save-best FILE]
   metrics-dump [unit] [--sims N]     run a small workload and dump the
       [--json]                       metrics registry (Prometheus text,
                                      or one JSON object with --json)
@@ -418,6 +431,10 @@ int cmd_run(Args& args) {
   config.seed = args.size_value("--seed", 2021);
   config.eval_cache = args.onoff_value("--eval-cache", true);
   config.refine_with_real_target = args.flag("--refine");
+  if (const auto session = args.value("--session"); session.has_value()) {
+    config.session_dir = *session;
+  }
+  config.resume = args.flag("--resume");
 
   // Live introspection. Bare `--serve` (consumed first so value() below
   // cannot eat the next flag as a port) means "ephemeral port"; the
@@ -525,6 +542,15 @@ int cmd_run(Args& args) {
   }
   std::cout << "\ntotal simulations: "
             << util::format_count(farm.total_simulations()) << '\n';
+  if (runner.session_summary().has_value()) {
+    const auto& session = *runner.session_summary();
+    std::cout << "session: " << session.dir;
+    if (!session.resumed_from.empty()) {
+      std::cout << " (resume #" << session.resumes << ", picked up after '"
+                << session.resumed_from << "')";
+    }
+    std::cout << '\n';
+  }
 
   if (const auto out = args.value("--save-best"); out.has_value()) {
     tgen::save_template(*out, result.best_template);
@@ -537,8 +563,10 @@ int cmd_run(Args& args) {
   }
   if (const auto md = args.value("--report"); md.has_value()) {
     const auto farm_stats = farm.telemetry();
+    const auto& session = runner.session_summary();
     report::write_flow_markdown(*md, unit->space(), events, result,
-                                &farm_stats);
+                                &farm_stats,
+                                session.has_value() ? &*session : nullptr);
     std::cerr << "wrote " << *md << '\n';
   }
   if (metrics_path.has_value()) {
@@ -549,6 +577,124 @@ int cmd_run(Args& args) {
   if (trace != nullptr) {
     std::cerr << "wrote " << trace->lines() << " trace events to "
               << trace_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_campaign(Args& args) {
+  const auto unit_name = args.positional();
+  if (!unit_name.has_value()) return usage();
+  const auto unit = make_unit(*unit_name);
+  if (unit == nullptr) {
+    std::cerr << "unknown unit '" << *unit_name << "'\n";
+    return 1;
+  }
+  const auto families_arg = args.value("--families");
+  if (!families_arg.has_value()) {
+    std::cerr << "campaign: --families F1,F2,... is required\n";
+    return 1;
+  }
+
+  cdg::FlowConfig config;
+  const std::size_t before_sims = args.size_value("--before-sims", 5000);
+  config.sample_templates = args.size_value("--samples", 200);
+  config.sample_sims = args.size_value("--sample-sims", 100);
+  config.opt_max_iterations = args.size_value("--iterations", 25);
+  config.opt_directions = args.size_value("--directions", 19);
+  config.opt_sims_per_point = args.size_value("--point-sims", 200);
+  config.harvest_sims = args.size_value("--harvest", 10000);
+  config.seed = args.size_value("--seed", 2021);
+  config.eval_cache = args.onoff_value("--eval-cache", true);
+  if (const auto session = args.value("--session"); session.has_value()) {
+    config.session_dir = *session;
+  }
+  config.resume = args.flag("--resume");
+
+  batch::SimFarm farm;
+  const auto repo = simulate_suite(*unit, farm, before_sims);
+
+  std::vector<neighbors::ApproximatedTarget> targets;
+  std::vector<std::string> family_names;
+  for (const auto family : util::split(*families_arg, ',')) {
+    if (family.empty()) continue;
+    const std::string name(family);
+    if (unit->space().family_events(name).empty()) {
+      std::cerr << "unknown family '" << name << "'; families:";
+      for (const auto& f : unit->space().family_names()) std::cerr << ' ' << f;
+      std::cerr << '\n';
+      return 1;
+    }
+    family_names.push_back(name);
+    targets.push_back(
+        neighbors::family_target(unit->space(), name, repo.total()));
+  }
+  if (targets.empty()) {
+    std::cerr << "campaign: --families lists no usable family\n";
+    return 1;
+  }
+
+  // Seed template: explicit --seed-template NAME, or the coarse
+  // search's top pick for the first family.
+  const auto suite = unit->suite();
+  std::string wanted;
+  if (const auto name = args.value("--seed-template"); name.has_value()) {
+    wanted = *name;
+  } else {
+    wanted = cdg::coarse_search(targets.front(), repo, 1).front().name;
+  }
+  const tgen::TestTemplate* seed_tmpl = nullptr;
+  for (const auto& tmpl : suite) {
+    if (tmpl.name() == wanted) {
+      seed_tmpl = &tmpl;
+      break;
+    }
+  }
+  if (seed_tmpl == nullptr) {
+    std::cerr << "campaign: seed template '" << wanted
+              << "' is not in the unit's suite\n";
+    return 1;
+  }
+
+  const auto result =
+      cdg::run_multi_target(*unit, farm, config, targets, *seed_tmpl);
+
+  std::cout << "campaign: " << targets.size() << " targets, shared sampling of "
+            << util::format_count(result.sampling.simulations)
+            << " sims saved " << util::format_count(result.sims_saved)
+            << " sims\nseed template: " << seed_tmpl->name() << "\n\n";
+  util::Table table({"family", "opt best value", "flow sims", "targets hit"});
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const auto& flow_result = result.per_target[t];
+    const auto& harvest = flow_result.harvest_phase.stats;
+    std::size_t hit = 0;
+    for (const auto event : targets[t].targets()) {
+      if (harvest.sims() != 0 && event.value < harvest.event_count() &&
+          harvest.hits(event) > 0) {
+        ++hit;
+      }
+    }
+    table.add_row(
+        {family_names[t],
+         util::format_number(flow_result.optimization.best_value, 4),
+         util::format_count(flow_result.flow_sims()),
+         std::to_string(hit) + "/" +
+             std::to_string(targets[t].targets().size())});
+  }
+  table.render(std::cout, util::stdout_supports_color());
+  std::cout << "\ntotal simulations: "
+            << util::format_count(farm.total_simulations()) << '\n';
+  if (!result.session_dir.empty()) {
+    std::cout << "campaign session: " << result.session_dir << " ("
+              << result.sessions.size() << " sub-sessions)\n";
+  }
+
+  if (const auto out = args.value("--save-best"); out.has_value()) {
+    std::vector<tgen::TestTemplate> bests;
+    bests.reserve(result.per_target.size());
+    for (const auto& fr : result.per_target) bests.push_back(fr.best_template);
+    tgen::save_templates(*out, bests);
+    std::cerr << "wrote " << bests.size() << " best templates to " << *out
+              << '\n';
   }
   return 0;
 }
@@ -609,6 +755,8 @@ int main(int argc, char** argv) {
       rc = cmd_holes(args);
     } else if (command == "run") {
       rc = cmd_run(args);
+    } else if (command == "campaign") {
+      rc = cmd_campaign(args);
     } else if (command == "metrics-dump") {
       rc = cmd_metrics_dump(args);
     } else {
