@@ -21,6 +21,8 @@
 #include "stimgen/sampler.hpp"
 #include "tac/tac.hpp"
 #include "tgen/parser.hpp"
+#include "util/failure.hpp"
+#include "util/fs.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -331,6 +333,55 @@ void BM_SessionCheckpoint(benchmark::State& state) {
   std::filesystem::remove_all(dir);
 }
 BENCHMARK(BM_SessionCheckpoint)->Arg(20)->Arg(100);
+
+// Same checkpoint write with fsync elided: the gap to
+// BM_SessionCheckpoint is the price of the durability guarantee, and
+// this variant is what a profile of "atomic write minus the disk" looks
+// like. Both must stay cheap relative to an optimizer iteration.
+void BM_SessionCheckpointNoFsync(benchmark::State& state) {
+  const std::size_t dim = static_cast<std::size_t>(state.range(0));
+  opt::IfCheckpoint ckpt;
+  ckpt.next_iteration = 10;
+  ckpt.center.assign(dim, 0.333333333333);
+  ckpt.center_value = 0.125;
+  ckpt.step = 0.05;
+  ckpt.evaluations = 10 * (dim + 1);
+  ckpt.best_point.assign(dim, 0.666666666666);
+  ckpt.best_value = 0.25;
+  ckpt.rng_state = {0xDEADBEEFCAFEBABEULL, 0x123456789ABCDEF0ULL, 42ULL, 7ULL};
+  ckpt.eval_seed_counter = 1234;
+  for (std::size_t i = 0; i < 10; ++i) {
+    opt::IterationRecord record;
+    record.iteration = i;
+    record.center_value = 0.01 * static_cast<double>(i);
+    record.evaluations = (i + 1) * (dim + 1);
+    ckpt.trace.push_back(record);
+  }
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "ascdg_bench_session_nofsync";
+  const std::filesystem::path file = dir / "optimization.ckpt.json";
+  const std::string json = flow::to_json(ckpt);
+  for (auto _ : state) {
+    util::atomic_write_file(file, json, util::Durability::kNoFsync);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SessionCheckpointNoFsync)->Arg(20)->Arg(100);
+
+// The disarmed fast path of a failure point: one relaxed atomic load.
+// Injection sites sit on every write/fsync/rename and inside the HTTP
+// serve loop, so this must stay indistinguishable from free — the CI
+// overhead guard watches it.
+void BM_FailurePointCheckOff(benchmark::State& state) {
+  util::FailurePoint::disarm_all();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::FailurePoint::check(util::FailurePoint::Id::kAtomicWriteFsync));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FailurePointCheckOff);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/failure.hpp"
 #include "util/jsonl.hpp"
 
 namespace ascdg::flow {
@@ -272,6 +274,12 @@ opt::IfCheckpoint checkpoint_from_json(const util::JsonValue& value) {
 }
 
 util::JsonValue read_json_file(const std::filesystem::path& path) {
+  if (const int e = util::FailurePoint::check(
+          util::FailurePoint::Id::kArtifactRead);
+      e != 0) {
+    throw util::Error("cannot open artifact '" + path.string() +
+                      "': " + std::strerror(e));
+  }
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     throw util::Error("cannot open artifact '" + path.string() + "'");

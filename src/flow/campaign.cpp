@@ -9,6 +9,7 @@
 #include "flow/pipeline.hpp"
 #include "flow/stages.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
 
@@ -105,6 +106,9 @@ MultiTargetResult run_multi_target(
   const std::filesystem::path root = config.session_dir;
   if (durable) {
     result.session_dir = config.session_dir;
+    // Sub-sessions reap their own directories on open/create; the
+    // campaign root (campaign.json lives here) is ours to clean.
+    util::remove_stale_tmp_files(root);
     const std::uint64_t campaign_fp = config_fingerprint(
         config, "campaign:" + std::to_string(targets.size()));
     const std::filesystem::path manifest = root / "campaign.json";

@@ -2,13 +2,17 @@
 
 #include <atomic>
 #include <bit>
+#include <cerrno>
 #include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "flow/artifacts.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
+#include "util/fs.hpp"
 #include "util/json.hpp"
 #include "util/jsonl.hpp"
 #include "util/rng.hpp"
@@ -17,12 +21,28 @@ namespace ascdg::flow {
 
 namespace {
 
+/// Parses ASCDG_CRASH_AFTER_WRITES strictly: the whole value must be a
+/// non-negative decimal integer. std::atol would map garbage ("12abc",
+/// "yes") to a number or to 0 — silently disabling the crash hook and
+/// letting a misconfigured kill-and-resume test pass vacuously.
+long parse_crash_after_writes() {
+  const char* env = std::getenv("ASCDG_CRASH_AFTER_WRITES");
+  if (env == nullptr) return 0;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || value < 0) {
+    throw util::ConfigError(
+        "ASCDG_CRASH_AFTER_WRITES='" + std::string(env) +
+        "' is not a non-negative integer — refusing to run with a "
+        "misconfigured crash hook");
+  }
+  return value;
+}
+
 /// See the ASCDG_CRASH_AFTER_WRITES doc on atomic_write_file.
 void maybe_crash_after_write() {
-  static const long crash_after = [] {
-    const char* env = std::getenv("ASCDG_CRASH_AFTER_WRITES");
-    return env != nullptr ? std::atol(env) : 0L;
-  }();
+  static const long crash_after = parse_crash_after_writes();
   if (crash_after <= 0) return;
   static std::atomic<long> writes{0};
   if (writes.fetch_add(1, std::memory_order_relaxed) + 1 >= crash_after) {
@@ -60,37 +80,14 @@ std::string manifest_text(std::uint64_t fingerprint, std::uint64_t seed,
 
 void atomic_write_file(const std::filesystem::path& path,
                        std::string_view content) {
-  if (path.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(path.parent_path(), ec);
-    if (ec) {
-      throw util::Error("cannot create directory '" +
-                        path.parent_path().string() + "': " + ec.message());
-    }
-  }
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw util::Error("cannot open '" + tmp.string() + "' for writing");
-    }
-    os.write(content.data(),
-             static_cast<std::streamsize>(content.size()));
-    os.flush();
-    if (!os) throw util::Error("failed writing '" + tmp.string() + "'");
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    throw util::Error("cannot rename '" + tmp.string() + "' -> '" +
-                      path.string() + "': " + ec.message());
-  }
+  util::atomic_write_file(path, content);
   maybe_crash_after_write();
 }
 
 Session Session::create(const std::filesystem::path& dir,
                         std::uint64_t fingerprint, std::uint64_t seed,
                         std::span<const std::string> stage_names) {
+  util::remove_stale_tmp_files(dir);
   Session session;
   session.dir_ = dir;
   session.fingerprint_ = fingerprint;
@@ -105,7 +102,17 @@ Session Session::create(const std::filesystem::path& dir,
 Session Session::open(const std::filesystem::path& dir,
                       std::uint64_t expected_fingerprint,
                       std::span<const std::string> stage_names) {
+  // A write that died between open and rename leaves a *.tmp next to
+  // the artifacts; it holds no committed state, so re-opening the
+  // session is the safe moment to reap it.
+  util::remove_stale_tmp_files(dir);
   const std::filesystem::path manifest = dir / "manifest.json";
+  if (const int e = util::FailurePoint::check(
+          util::FailurePoint::Id::kManifestRead);
+      e != 0) {
+    throw util::Error("cannot read session manifest '" + manifest.string() +
+                      "': " + std::strerror(e));
+  }
   std::ifstream is(manifest, std::ios::binary);
   if (!is) {
     throw util::Error("cannot open session manifest '" + manifest.string() +

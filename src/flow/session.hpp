@@ -26,13 +26,18 @@ namespace ascdg::flow {
 inline constexpr std::string_view kSessionSchema = "ascdg-session-v1";
 inline constexpr std::string_view kCampaignSchema = "ascdg-campaign-v1";
 
-/// Writes `content` to `path` atomically (temp file + rename), creating
-/// parent directories. Throws util::Error on IO failure.
+/// Writes `content` to `path` atomically and durably — temp file,
+/// fsync, rename, fsync of the parent directory — via
+/// util::atomic_write_file (see util/fs.hpp for the durability
+/// argument and the FailurePoint injection sites), then services the
+/// crash hook below. Throws util::Error on IO failure; the temp file
+/// never survives a failure.
 ///
 /// Test hook: when the environment variable ASCDG_CRASH_AFTER_WRITES is
 /// set to N > 0, the process raises SIGKILL immediately after the N-th
 /// atomic write completes — the kill-and-resume tests use this to die
-/// deterministically at a checkpoint boundary.
+/// deterministically at a checkpoint boundary. A value that is not a
+/// non-negative integer is a util::ConfigError, not a silent no-op.
 void atomic_write_file(const std::filesystem::path& path,
                        std::string_view content);
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 
@@ -14,6 +15,7 @@
 #include "obs/run_state.hpp"
 #include "obs/watchdog.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
 #include "util/jsonl.hpp"
 #include "util/log.hpp"
 
@@ -50,6 +52,50 @@ std::string make_response(int status, std::string_view content_type,
 
 std::string json_response(int status, const util::JsonObject& object) {
   return make_response(status, "application/json", object.str() + "\n");
+}
+
+using Fp = util::FailurePoint;
+
+/// accept(2) with EINTR retry: a signal landing on the serve thread
+/// must not drop a pending connection. The FailurePoint simulates a
+/// failing accept for the fault tests.
+int accept_retry(int listen_fd) noexcept {
+  for (;;) {
+    int client = -1;
+    if (const int e = Fp::check(Fp::Id::kHttpAccept); e != 0) {
+      errno = e;
+    } else {
+      client = ::accept(listen_fd, nullptr, nullptr);
+    }
+    if (client >= 0 || errno != EINTR) return client;
+  }
+}
+
+/// recv(2) that retries EINTR but surfaces everything else — in
+/// particular EAGAIN/EWOULDBLOCK from SO_RCVTIMEO, which means the
+/// client stalled and the connection should be abandoned, not retried.
+ssize_t recv_retry(int fd, char* buffer, std::size_t size) noexcept {
+  for (;;) {
+    ssize_t n = -1;
+    if (const int e = Fp::check(Fp::Id::kHttpRecv); e != 0) {
+      errno = e;
+    } else {
+      n = ::recv(fd, buffer, size, 0);
+    }
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t send_retry(int fd, const char* data, std::size_t size) noexcept {
+  for (;;) {
+    ssize_t n = -1;
+    if (const int e = Fp::check(Fp::Id::kHttpSend); e != 0) {
+      errno = e;
+    } else {
+      n = ::send(fd, data, size, MSG_NOSIGNAL);
+    }
+    if (n >= 0 || errno != EINTR) return n;
+  }
 }
 
 }  // namespace
@@ -214,7 +260,7 @@ void HttpServer::serve_loop() {
     const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
 
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = accept_retry(listen_fd_);
     if (client < 0) continue;
 
     // Bounded read of the request head; a client that trickles bytes
@@ -230,7 +276,7 @@ void HttpServer::serve_loop() {
     while (request.size() < kMaxRequestBytes &&
            request.find("\r\n\r\n") == std::string::npos &&
            request.find("\n\n") == std::string::npos) {
-      const ssize_t n = ::recv(client, buffer, sizeof buffer, 0);
+      const ssize_t n = recv_retry(client, buffer, sizeof buffer);
       if (n <= 0) break;
       request.append(buffer, static_cast<std::size_t>(n));
     }
@@ -251,8 +297,8 @@ void HttpServer::serve_loop() {
 
     std::size_t sent = 0;
     while (sent < response.size()) {
-      const ssize_t n = ::send(client, response.data() + sent,
-                               response.size() - sent, MSG_NOSIGNAL);
+      const ssize_t n = send_retry(client, response.data() + sent,
+                                   response.size() - sent);
       if (n <= 0) break;
       sent += static_cast<std::size_t>(n);
     }

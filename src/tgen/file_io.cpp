@@ -5,6 +5,7 @@
 
 #include "tgen/parser.hpp"
 #include "util/error.hpp"
+#include "util/fs.hpp"
 
 namespace ascdg::tgen {
 
@@ -24,23 +25,11 @@ std::string read_file(const std::filesystem::path& path) {
 }
 
 void write_file(const std::filesystem::path& path, const std::string& text) {
-  if (path.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(path.parent_path(), ec);
-    if (ec) {
-      throw util::Error("cannot create directory '" +
-                        path.parent_path().string() + "': " + ec.message());
-    }
-  }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    throw util::Error("cannot open '" + path.string() + "' for writing");
-  }
-  out << text;
-  out.flush();
-  if (!out) {
-    throw util::Error("failed writing '" + path.string() + "'");
-  }
+  // Templates and skeletons land in session directories as durable
+  // checkpoints; a torn half-written .tmpl after a crash would poison
+  // every later resume, so they go through the same atomic+fsync path
+  // as the JSON artifacts.
+  util::atomic_write_file(path, text);
 }
 
 }  // namespace

@@ -49,6 +49,7 @@
 #include "tac/tac.hpp"
 #include "tgen/file_io.hpp"
 #include "util/error.hpp"
+#include "util/failure.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -736,6 +737,9 @@ int main(int argc, char** argv) {
   Args args(argc, argv, 2);
   util::set_log_level(util::LogLevel::kWarn);
   try {
+    // Arm fault-injection points before any IO so the fuzz harness can
+    // hit the very first manifest write; a malformed spec is fatal.
+    util::FailurePoint::install_from_env();
     int rc;
     if (command == "units") {
       rc = cmd_units();
