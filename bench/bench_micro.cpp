@@ -14,6 +14,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_state.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "duv/ifu.hpp"
 #include "duv/io_unit.hpp"
@@ -382,6 +384,39 @@ void BM_FailurePointCheckOff(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FailurePointCheckOff);
+
+// One telemetry sample: registry snapshot + line render + ring slot
+// (memory-only; the file append is the session's problem, not the
+// sampler's). This is what --timeline costs the run per interval, so
+// it must stay far below any sane sampling period.
+void BM_TimeSeriesSample(benchmark::State& state) {
+  obs::Registry reg;
+  // A realistic registry shape: per-farm counters, cache counters,
+  // busy gauges, latency histograms.
+  for (int farm = 0; farm < 4; ++farm) {
+    const std::string id = std::to_string(farm);
+    reg.counter("ascdg_farm_simulations_total", {{"farm", id}}).add(100'000);
+    reg.gauge("ascdg_farm_worker_busy_fraction", {{"farm", id}}).set(900'000);
+    auto& hist = reg.histogram("ascdg_farm_chunk_latency_us", {{"farm", id}});
+    for (std::uint64_t v = 1; v < 4096; v *= 2) hist.observe(v);
+  }
+  reg.counter("ascdg_eval_cache_hits_total").add(5'000);
+  reg.counter("ascdg_eval_cache_misses_total").add(1'000);
+  obs::RunState run;
+  run.start_flow("bench");
+  run.enter_phase("optimization");
+  obs::TimeSeriesConfig config;
+  config.start_thread = false;
+  config.registry = &reg;
+  config.run_state = &run;
+  config.mirror_to_recorder = false;
+  obs::TimeSeriesRecorder recorder(config);
+  for (auto _ : state) {
+    recorder.sample_now();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimeSeriesSample);
 
 void BM_XoshiroU64(benchmark::State& state) {
   util::Xoshiro256 rng(1);

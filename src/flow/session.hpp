@@ -26,6 +26,16 @@ namespace ascdg::flow {
 inline constexpr std::string_view kSessionSchema = "ascdg-session-v1";
 inline constexpr std::string_view kCampaignSchema = "ascdg-campaign-v1";
 
+// Telemetry artifacts the TimeSeriesRecorder keeps alongside the stage
+// checkpoints (docs/sessions.md "Session layout"). One name shared by
+// the writer (ascdg run --timeline) and the readers (ascdg inspect,
+// /timeseries) so neither hard-codes the other's file name.
+inline constexpr std::string_view kTelemetryFile = "telemetry.jsonl";
+inline constexpr std::string_view kTelemetryIndexFile = "telemetry.index.json";
+/// Trace sink the CLI places inside a session directory (--trace with
+/// --session defaults here; ascdg inspect profiles it).
+inline constexpr std::string_view kTraceFile = "trace.jsonl";
+
 /// Writes `content` to `path` atomically and durably — temp file,
 /// fsync, rename, fsync of the parent directory — via
 /// util::atomic_write_file (see util/fs.hpp for the durability

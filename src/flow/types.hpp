@@ -113,6 +113,13 @@ struct FlowConfig {
   /// flight recorder dumped on stall, fatal signal, or /flightrecorder.
   /// CLI: --flight-recorder=K.
   std::size_t flight_recorder_records = 0;
+  /// When non-zero, run an obs::TimeSeriesRecorder sampling every this
+  /// many milliseconds into the session's telemetry.jsonl (and the
+  /// /timeseries ring when serving). Requires session_dir for the
+  /// durable file; memory-only otherwise. Excluded from the session
+  /// config fingerprint like every other telemetry knob. CLI:
+  /// --timeline[=MS].
+  std::size_t timeline_interval_ms = 0;
 };
 
 /// Hit statistics of one flow phase, as shown in the paper's result

@@ -1,5 +1,7 @@
 #include "obs/export.hpp"
 
+#include <array>
+#include <charconv>
 #include <fstream>
 
 #include "util/error.hpp"
@@ -8,6 +10,15 @@
 namespace ascdg::obs {
 
 namespace {
+
+/// Shortest-round-trip double, matching the JSON builder's rendering.
+std::string format_double(double value) {
+  std::array<char, 32> buf{};
+  const auto [end, ec] =
+      std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  (void)ec;
+  return std::string(buf.data(), end);
+}
 
 void append_series(std::string& out, const MetricSample& sample,
                    std::string_view suffix, std::string_view extra_label,
@@ -84,6 +95,28 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
         append_series(out, sample, "_bucket", "le=\"+Inf\"", sample.count);
         append_series(out, sample, "_sum", "", sample.sum);
         append_series(out, sample, "_count", "", sample.count);
+        // Estimated quantiles as sibling gauge families (the `_peak`
+        // idiom): log2 buckets alone force every consumer to redo the
+        // interpolation.
+        for (const auto& [suffix, q] :
+             {std::pair<const char*, double>{"_p50", 0.50},
+              {"_p95", 0.95},
+              {"_p99", 0.99}}) {
+          out += "# TYPE ";
+          out += sample.name;
+          out += suffix;
+          out += " gauge\n";
+          out += sample.name;
+          out += suffix;
+          if (!sample.labels.empty()) {
+            out += '{';
+            out += sample.labels;
+            out += '}';
+          }
+          out += ' ';
+          out += format_double(histogram_quantile(sample, q));
+          out += '\n';
+        }
         break;
       }
     }
@@ -112,7 +145,10 @@ std::string to_json_object(const MetricSample& sample) {
       buckets += ']';
       object.add_raw("buckets", buckets)
           .add("count", sample.count)
-          .add("sum", sample.sum);
+          .add("sum", sample.sum)
+          .add("p50", histogram_quantile(sample, 0.50))
+          .add("p95", histogram_quantile(sample, 0.95))
+          .add("p99", histogram_quantile(sample, 0.99));
       break;
     }
   }

@@ -13,6 +13,7 @@
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/run_state.hpp"
+#include "obs/timeline.hpp"
 #include "obs/watchdog.hpp"
 #include "util/error.hpp"
 #include "util/failure.hpp"
@@ -222,6 +223,18 @@ std::string HttpServer::handle(std::string_view method,
     return json_response(200, body);
   }
 
+  if (path == "/timeseries") {
+    if (config_.timeline == nullptr) {
+      return json_response(
+          404, util::JsonObject{}.add(
+                   "error", "no telemetry recorder (run with --timeline)"));
+    }
+    // to_json() splices the recorder's rendered ring lines verbatim —
+    // the scrape is bit-identical to the telemetry.jsonl tail.
+    return make_response(200, "application/json",
+                         config_.timeline->to_json() + "\n");
+  }
+
   if (path == "/flightrecorder") {
     if (config_.recorder == nullptr) {
       return json_response(
@@ -251,7 +264,8 @@ std::string HttpServer::handle(std::string_view method,
       util::JsonObject{}
           .add("error", "unknown path")
           .add("endpoints",
-               "/metrics /metrics.json /healthz /runz /flightrecorder"));
+               "/metrics /metrics.json /healthz /runz /flightrecorder "
+               "/timeseries"));
 }
 
 void HttpServer::serve_loop() {

@@ -13,6 +13,8 @@
 //   GET /runz             live flow state: phase span stack, optimizer
 //                         iteration + best value, coverage progress
 //   GET /flightrecorder   dump of the in-memory trace tail
+//   GET /timeseries       ascdg-timeseries-v1 telemetry ring (the live
+//                         tail of the session's telemetry.jsonl)
 //
 // Request handling is deliberately single-threaded and bounded (4 KiB
 // request cap, per-connection timeout): a scrape every few seconds is
@@ -33,6 +35,7 @@ namespace ascdg::obs {
 
 class FlightRecorder;
 class RunState;
+class TimeSeriesRecorder;
 class Watchdog;
 
 struct HttpServerConfig {
@@ -49,6 +52,8 @@ struct HttpServerConfig {
   FlightRecorder* recorder = nullptr;
   /// Live flow state for /runz; nullptr selects obs::run_state().
   RunState* run_state = nullptr;
+  /// Telemetry ring for /timeseries (404 when absent).
+  TimeSeriesRecorder* timeline = nullptr;
 };
 
 class HttpServer {

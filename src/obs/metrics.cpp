@@ -40,6 +40,30 @@ void Histogram::observe(std::uint64_t value) noexcept {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+double histogram_quantile(const MetricSample& sample, double q) noexcept {
+  if (sample.kind != MetricKind::kHistogram || sample.count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest rank: the rank-th smallest observation, 1-based.
+  const double exact = q * static_cast<double>(sample.count);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;  // ceil
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+    const std::uint64_t in_bucket = sample.buckets[i];
+    if (in_bucket == 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ULL << i);
+      const double hi = static_cast<double>(1ULL << (i + 1));
+      const double frac = (static_cast<double>(rank - cumulative) - 0.5) /
+                          static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return 0.0;  // unreachable when count matches the buckets
+}
+
 const MetricSample* MetricsSnapshot::find(
     std::string_view name, std::string_view labels) const noexcept {
   for (const auto& sample : samples) {

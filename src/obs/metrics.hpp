@@ -181,6 +181,17 @@ struct MetricsSnapshot {
       std::string_view name, std::string_view labels = {}) const noexcept;
 };
 
+/// Estimated q-quantile (q in [0, 1]) of a histogram sample via linear
+/// interpolation inside the containing log2 bucket: bucket 0 spans
+/// [0, 2), bucket i spans [2^i, 2^(i+1)), and the tail bucket is
+/// clamped to its nominal upper edge. Uses the nearest-rank convention
+/// (rank = ceil(q * count)); returns 0 for an empty histogram or a
+/// non-histogram sample. Exact for single-bucket distributions, within
+/// one bucket width otherwise — plenty for the latency/batch-size
+/// summaries the exporters and the report print.
+[[nodiscard]] double histogram_quantile(const MetricSample& sample,
+                                        double q) noexcept;
+
 /// Owns the metric handles. Handles returned by counter()/gauge()/
 /// histogram() are valid for the registry's lifetime and stable across
 /// further registrations. Re-registering the same (name, labels) returns

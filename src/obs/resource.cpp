@@ -17,6 +17,10 @@ std::uint64_t timeval_us(const timeval& tv) noexcept {
 }  // namespace
 
 ResourceUsage read_resource_usage() noexcept {
+  return read_resource_usage_at("/proc/self/statm");
+}
+
+ResourceUsage read_resource_usage_at(const char* statm_path) noexcept {
   ResourceUsage usage;
 
   rusage ru = {};
@@ -32,30 +36,34 @@ ResourceUsage read_resource_usage() noexcept {
   }
 
   // /proc/self/statm: size resident shared text lib data dt, in pages.
-  if (std::FILE* statm = std::fopen("/proc/self/statm", "r")) {
+  if (std::FILE* statm = std::fopen(statm_path, "r")) {
     unsigned long long vm_pages = 0;
     unsigned long long rss_pages = 0;
     if (std::fscanf(statm, "%llu %llu", &vm_pages, &rss_pages) == 2) {
       const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
       usage.vm_bytes = vm_pages * page;
       usage.rss_bytes = rss_pages * page;
+      usage.rss_available = true;
     }
     std::fclose(statm);
-  }
-  if (usage.rss_bytes == 0) {
-    // No /proc (non-Linux): fall back on the kernel-reported peak so
-    // the gauge is at least an upper bound instead of zero.
-    usage.rss_bytes = usage.max_rss_bytes;
   }
   return usage;
 }
 
 ResourceUsage update_resource_gauges(Registry& reg) {
   const ResourceUsage usage = read_resource_usage();
-  reg.gauge("ascdg_proc_rss_bytes")
-      .set(static_cast<std::int64_t>(usage.rss_bytes));
-  reg.gauge("ascdg_proc_vm_bytes")
-      .set(static_cast<std::int64_t>(usage.vm_bytes));
+  update_resource_gauges(reg, usage);
+  return usage;
+}
+
+void update_resource_gauges(Registry& reg, const ResourceUsage& usage) {
+  if (usage.rss_available) {
+    reg.gauge("ascdg_proc_rss_bytes")
+        .set(static_cast<std::int64_t>(usage.rss_bytes));
+    reg.gauge("ascdg_proc_vm_bytes")
+        .set(static_cast<std::int64_t>(usage.vm_bytes));
+    reg.histogram("ascdg_proc_rss_sample_bytes").observe(usage.rss_bytes);
+  }
   reg.gauge("ascdg_proc_max_rss_bytes")
       .set(static_cast<std::int64_t>(usage.max_rss_bytes));
   reg.gauge("ascdg_proc_cpu_user_ms")
@@ -66,8 +74,6 @@ ResourceUsage update_resource_gauges(Registry& reg) {
       .set(static_cast<std::int64_t>(usage.major_faults));
   reg.gauge("ascdg_proc_ctx_switches_involuntary")
       .set(static_cast<std::int64_t>(usage.invol_ctx_switches));
-  reg.histogram("ascdg_proc_rss_sample_bytes").observe(usage.rss_bytes);
-  return usage;
 }
 
 void update_phase_resource_gauges(Registry& reg, std::string_view phase,
@@ -78,8 +84,10 @@ void update_phase_resource_gauges(Registry& reg, std::string_view phase,
                                      : 0;
   reg.gauge("ascdg_phase_cpu_ms", {{"phase", phase}})
       .set(static_cast<std::int64_t>(cpu_ms));
-  reg.gauge("ascdg_phase_rss_bytes", {{"phase", phase}})
-      .set(static_cast<std::int64_t>(end.rss_bytes));
+  if (end.rss_available) {
+    reg.gauge("ascdg_phase_rss_bytes", {{"phase", phase}})
+        .set(static_cast<std::int64_t>(end.rss_bytes));
+  }
 }
 
 }  // namespace ascdg::obs

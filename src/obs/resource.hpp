@@ -23,6 +23,10 @@ struct ResourceUsage {
   std::uint64_t major_faults = 0;     ///< ru_majflt
   std::uint64_t vol_ctx_switches = 0;    ///< ru_nvcsw
   std::uint64_t invol_ctx_switches = 0;  ///< ru_nivcsw
+  /// True when rss_bytes/vm_bytes were actually read from statm. On a
+  /// platform without /proc they are UNKNOWN, not zero — publishers
+  /// must skip the rss gauges rather than report a made-up number.
+  bool rss_available = false;
 
   [[nodiscard]] std::uint64_t cpu_us() const noexcept {
     return user_cpu_us + system_cpu_us;
@@ -30,8 +34,13 @@ struct ResourceUsage {
 };
 
 /// Samples the current process. Never throws; fields that cannot be
-/// read (no /proc, say) stay zero.
+/// read (no /proc, say) stay zero with rss_available false.
 [[nodiscard]] ResourceUsage read_resource_usage() noexcept;
+
+/// read_resource_usage() with the statm path injectable — the test
+/// seam for exercising the no-/proc degradation on a Linux box.
+[[nodiscard]] ResourceUsage read_resource_usage_at(
+    const char* statm_path) noexcept;
 
 /// Publishes one sample into `reg`:
 ///   ascdg_proc_rss_bytes        gauge (peak watermark = observed max)
@@ -42,8 +51,13 @@ struct ResourceUsage {
 ///   ascdg_proc_major_faults     gauge
 ///   ascdg_proc_ctx_switches_involuntary gauge
 /// and observes the RSS into the ascdg_proc_rss_sample_bytes histogram
-/// (the sampling distribution over the run). Returns the sample.
+/// (the sampling distribution over the run). When the sample's
+/// rss_available is false the rss/vm series are skipped entirely — a
+/// missing gauge is honest, a zero gauge is a lie. Returns the sample.
 ResourceUsage update_resource_gauges(Registry& reg);
+
+/// Publishes a caller-provided sample (same series and skip rules).
+void update_resource_gauges(Registry& reg, const ResourceUsage& usage);
 
 /// Publishes one flow phase's resource footprint into `reg`:
 ///   ascdg_phase_cpu_ms{phase=...}    gauge — CPU time spent in the phase

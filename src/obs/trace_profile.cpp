@@ -1,0 +1,199 @@
+#include "obs/trace_profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace ascdg::obs {
+
+namespace {
+
+struct RawSpan {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Nearest-rank quantile over an already-sorted duration list.
+std::uint64_t quantile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  if (index > sorted.size()) index = sorted.size();
+  return sorted[index - 1];
+}
+
+/// Folds one sibling group (all span instances sharing a name at the
+/// same tree position) into a profile node, recursing into their
+/// children grouped by name.
+TraceProfileNode fold_group(
+    const std::string& name, const std::vector<std::size_t>& instances,
+    std::size_t depth, const std::vector<RawSpan>& spans,
+    const std::unordered_map<std::uint64_t, std::vector<std::size_t>>&
+        children_of) {
+  TraceProfileNode node;
+  node.name = name;
+  node.depth = depth;
+  std::vector<std::uint64_t> durations;
+  durations.reserve(instances.size());
+  // std::map keys the child groups in name order while folding; the
+  // final child order is by total_us (set below).
+  std::map<std::string, std::vector<std::size_t>> child_groups;
+  for (const std::size_t index : instances) {
+    const RawSpan& span = spans[index];
+    ++node.count;
+    node.total_us += span.dur_us;
+    durations.push_back(span.dur_us);
+    const auto kids = children_of.find(span.id);
+    if (kids != children_of.end()) {
+      for (const std::size_t kid : kids->second) {
+        child_groups[spans[kid].name].push_back(kid);
+      }
+    }
+  }
+  std::sort(durations.begin(), durations.end());
+  node.p50_us = quantile(durations, 0.50);
+  node.p95_us = quantile(durations, 0.95);
+  node.p99_us = quantile(durations, 0.99);
+  std::uint64_t children_total = 0;
+  for (const auto& [child_name, child_instances] : child_groups) {
+    node.children.push_back(
+        fold_group(child_name, child_instances, depth + 1, spans, children_of));
+    children_total += node.children.back().total_us;
+  }
+  // Clock skew between a parent and its children is possible in
+  // principle; clamp instead of wrapping.
+  node.self_us =
+      node.total_us > children_total ? node.total_us - children_total : 0;
+  std::sort(node.children.begin(), node.children.end(),
+            [](const TraceProfileNode& a, const TraceProfileNode& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return node;
+}
+
+void flatten_into(const std::vector<TraceProfileNode>& nodes,
+                  std::vector<TraceProfileNode>& out) {
+  for (const TraceProfileNode& node : nodes) {
+    TraceProfileNode copy = node;
+    copy.children.clear();
+    out.push_back(std::move(copy));
+    flatten_into(node.children, out);
+  }
+}
+
+void render_nodes(std::ostream& os, const std::vector<TraceProfileNode>& nodes,
+                  std::uint64_t profile_total) {
+  for (const TraceProfileNode& node : nodes) {
+    const double pct =
+        profile_total == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(node.total_us) /
+                  static_cast<double>(profile_total);
+    os << std::string(node.depth * 2, ' ') << node.name << "  n=" << node.count
+       << "  total=" << node.total_us << "us (" << static_cast<int>(pct + 0.5)
+       << "%)  self=" << node.self_us << "us  p50/p95/p99=" << node.p50_us
+       << "/" << node.p95_us << "/" << node.p99_us << "us\n";
+    render_nodes(os, node.children, profile_total);
+  }
+}
+
+}  // namespace
+
+TraceProfile TraceProfile::from_text(std::string_view text) {
+  TraceProfile profile;
+  std::vector<RawSpan> spans;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const util::JsonValue doc = util::json_parse(line);
+      const util::JsonValue* event = doc.find("event");
+      if (event == nullptr || !event->is_string() ||
+          event->as_string() != "span") {
+        continue;  // stage events, flow_end, log mirrors — not an error
+      }
+      RawSpan span;
+      span.name = doc.at("span").as_string();
+      span.id = doc.at("span_id").as_uint64();
+      span.parent = doc.at("parent_id").as_uint64();
+      span.dur_us = doc.at("dur_us").as_uint64();
+      spans.push_back(std::move(span));
+    } catch (const std::exception&) {
+      ++profile.skipped_lines_;  // truncated crash tail, torn line, ...
+    }
+  }
+  profile.spans_ = spans.size();
+
+  std::unordered_set<std::uint64_t> known_ids;
+  known_ids.reserve(spans.size());
+  for (const RawSpan& span : spans) known_ids.insert(span.id);
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> children_of;
+  std::map<std::string, std::vector<std::size_t>> root_groups;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    // A parent id that never produced its own end record (parent still
+    // open at crash time) makes the child an effective root.
+    if (spans[i].parent != 0 && known_ids.contains(spans[i].parent)) {
+      children_of[spans[i].parent].push_back(i);
+    } else {
+      root_groups[spans[i].name].push_back(i);
+    }
+  }
+  for (const auto& [name, instances] : root_groups) {
+    profile.roots_.push_back(fold_group(name, instances, 0, spans,
+                                        children_of));
+  }
+  std::sort(profile.roots_.begin(), profile.roots_.end(),
+            [](const TraceProfileNode& a, const TraceProfileNode& b) {
+              if (a.total_us != b.total_us) return a.total_us > b.total_us;
+              return a.name < b.name;
+            });
+  return profile;
+}
+
+TraceProfile TraceProfile::from_jsonl(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::Error("trace profile: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+std::uint64_t TraceProfile::total_us() const noexcept {
+  std::uint64_t total = 0;
+  for (const TraceProfileNode& node : roots_) total += node.total_us;
+  return total;
+}
+
+void TraceProfile::render(std::ostream& os) const {
+  if (roots_.empty()) {
+    os << "(no spans)\n";
+    return;
+  }
+  render_nodes(os, roots_, total_us());
+  if (skipped_lines_ != 0) {
+    os << "(" << skipped_lines_ << " unparseable line(s) skipped)\n";
+  }
+}
+
+std::vector<TraceProfileNode> TraceProfile::flatten() const {
+  std::vector<TraceProfileNode> out;
+  flatten_into(roots_, out);
+  return out;
+}
+
+}  // namespace ascdg::obs

@@ -1,0 +1,74 @@
+// Offline aggregator over the span tracer's JSONL: folds the flat
+// stream of `{"event":"span",...}` records back into the call tree and
+// reduces it to a per-name-path profile — counts, total time, self
+// time (total minus direct children), and p50/p95/p99 per node — the
+// per-phase/per-stage cost picture `ascdg inspect` prints.
+//
+// Span end-events are emitted child-before-parent (a Span writes its
+// record when it ends), so the tree is reconstructed from
+// span_id/parent_id after reading the whole file. Non-span lines
+// (stage events, flow_end, log mirrors) are skipped; unparseable lines
+// are counted, not fatal — a crashed run's trace tail may be truncated
+// mid-line and the rest of the profile is still wanted.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ascdg::obs {
+
+/// One aggregated profile node: all spans sharing the same name-path
+/// (root span name / child span name / ...).
+struct TraceProfileNode {
+  std::string name;        ///< span name (last path element)
+  std::size_t depth = 0;   ///< 0 = root
+  std::uint64_t count = 0;
+  std::uint64_t total_us = 0;  ///< summed span durations
+  std::uint64_t self_us = 0;   ///< total minus direct children's totals
+  std::uint64_t p50_us = 0;    ///< duration quantiles (nearest-rank)
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  std::vector<TraceProfileNode> children;  ///< sorted by total_us desc
+};
+
+class TraceProfile {
+ public:
+  /// Aggregates every span record in `text` (one JSON object per line).
+  [[nodiscard]] static TraceProfile from_text(std::string_view text);
+  /// Reads and aggregates a trace JSONL file. Throws util::Error when
+  /// the file cannot be opened; tolerates malformed lines inside it.
+  [[nodiscard]] static TraceProfile from_jsonl(
+      const std::filesystem::path& path);
+
+  [[nodiscard]] const std::vector<TraceProfileNode>& roots() const noexcept {
+    return roots_;
+  }
+  [[nodiscard]] std::uint64_t spans() const noexcept { return spans_; }
+  [[nodiscard]] std::uint64_t skipped_lines() const noexcept {
+    return skipped_lines_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return roots_.empty(); }
+
+  /// Total time across root spans (the wall-ish denominator for the
+  /// rendered percentages).
+  [[nodiscard]] std::uint64_t total_us() const noexcept;
+
+  /// Indented tree, one node per line:
+  ///   name  count  total  self  p50/p95/p99
+  void render(std::ostream& os) const;
+
+  /// Depth-first flattened copy (parents before children) — convenient
+  /// for tests and for the --json rendering.
+  [[nodiscard]] std::vector<TraceProfileNode> flatten() const;
+
+ private:
+  std::vector<TraceProfileNode> roots_;
+  std::uint64_t spans_ = 0;
+  std::uint64_t skipped_lines_ = 0;
+};
+
+}  // namespace ascdg::obs

@@ -228,8 +228,9 @@ void write_flow_markdown(const std::filesystem::path& path,
        << (record.halved ? "yes" : "no") << " |\n";
   }
 
+  const obs::MetricsSnapshot metrics = obs::registry().snapshot();
   os << '\n';
-  render_convergence(os, space, flow);
+  render_convergence(os, space, flow, &metrics);
 
   os << "\n## Run telemetry\n\n";
   telemetry_table(flow).render_markdown(os);
@@ -239,7 +240,7 @@ void write_flow_markdown(const std::filesystem::path& path,
   }
 
   os << "\n## Run health\n\n";
-  render_run_health(os, obs::registry().snapshot());
+  render_run_health(os, metrics);
 
   if (session != nullptr) {
     os << "\n## Session\n\n";
@@ -384,12 +385,48 @@ void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
 }
 
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow) {
+                        const cdg::FlowResult& flow,
+                        const obs::MetricsSnapshot* snapshot) {
   os << "## Convergence\n\n"
      << "Best objective value per optimization iteration (paper Fig. 6):\n\n"
      << "```\n";
   render_trace(os, flow.optimization);
   os << "```\n";
+
+  // Histogram quantiles for the cost per unit of convergence: what a
+  // simulation chunk latency and an eval batch looked like, not just
+  // their totals. Omitted when the series never registered.
+  if (snapshot != nullptr) {
+    const auto quantile_line = [&os, snapshot](const char* name,
+                                               const char* caption,
+                                               const char* unit) {
+      bool first = true;
+      for (const auto& sample : snapshot->samples) {
+        if (sample.name != name ||
+            sample.kind != obs::MetricKind::kHistogram || sample.count == 0) {
+          continue;
+        }
+        if (first) {
+          os << "\n" << caption << ":\n\n";
+          first = false;
+        }
+        os << "- ";
+        if (!sample.labels.empty()) os << '`' << sample.labels << "` ";
+        os << "p50/p95/p99 = "
+           << util::format_number(obs::histogram_quantile(sample, 0.50), 4)
+           << " / "
+           << util::format_number(obs::histogram_quantile(sample, 0.95), 4)
+           << " / "
+           << util::format_number(obs::histogram_quantile(sample, 0.99), 4)
+           << ' ' << unit << " (" << util::format_count(sample.count)
+           << " observations)\n";
+      }
+    };
+    quantile_line("ascdg_farm_chunk_latency_us", "Chunk latency quantiles",
+                  "us");
+    quantile_line("ascdg_eval_batch_size", "Evaluation batch-size quantiles",
+                  "points");
+  }
 
   // Evaluation-cache ablation data: how many optimizer evaluations were
   // answered from the seeded cache instead of resimulating.

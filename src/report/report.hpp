@@ -81,9 +81,13 @@ void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot);
 /// Renders the convergence section as markdown: the optimizer's
 /// objective curve (paper Fig. 6) as a fenced ASCII chart plus the
 /// per-iteration step/resample/halving dynamics, and the coverage
-/// progress — which flow phase first hit each target event.
+/// progress — which flow phase first hit each target event. When a
+/// metrics snapshot is given, latency/batch-size histogram quantiles
+/// (chunk latency, eval batch size) are appended — the per-simulation
+/// cost behind the convergence curve.
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow);
+                        const cdg::FlowResult& flow,
+                        const obs::MetricsSnapshot* snapshot = nullptr);
 
 /// Renders a durable-session manifest summary as a markdown fragment:
 /// the session directory, seed, resume count, where the last resume

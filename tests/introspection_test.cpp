@@ -214,6 +214,39 @@ TEST(Resource, ReadsPlausibleUsageAndPublishesGauges) {
   EXPECT_EQ(hist->count, 1u);
 }
 
+TEST(Resource, MissingStatmSkipsRssGaugesInsteadOfPublishingZero) {
+  // Platforms without /proc/self/statm must not report RSS as 0 —
+  // the gauges are skipped entirely and the getrusage-backed ones stay.
+  const ResourceUsage usage =
+      read_resource_usage_at("/nonexistent/statm-for-ascdg-test");
+  EXPECT_FALSE(usage.rss_available);
+  EXPECT_EQ(usage.rss_bytes, 0u);
+  EXPECT_GT(usage.max_rss_bytes, 0u);  // getrusage still works
+
+  Registry reg;
+  update_resource_gauges(reg, usage);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.find("ascdg_proc_rss_bytes"), nullptr);
+  EXPECT_EQ(snap.find("ascdg_proc_vm_bytes"), nullptr);
+  EXPECT_EQ(snap.find("ascdg_proc_rss_sample_bytes"), nullptr);
+  EXPECT_NE(snap.find("ascdg_proc_max_rss_bytes"), nullptr);
+  EXPECT_NE(snap.find("ascdg_proc_cpu_user_ms"), nullptr);
+
+  // Phase footprints degrade the same way.
+  ResourceUsage start;
+  ResourceUsage end;
+  end.user_cpu_us = 1000;
+  update_phase_resource_gauges(reg, "sampling", start, end);
+  const MetricsSnapshot after = reg.snapshot();
+  EXPECT_EQ(after.find("ascdg_phase_rss_bytes", "phase=\"sampling\""), nullptr);
+  EXPECT_NE(after.find("ascdg_phase_cpu_ms", "phase=\"sampling\""), nullptr);
+}
+
+TEST(Resource, StatmBackedReadMarksRssAvailable) {
+  const ResourceUsage usage = read_resource_usage();
+  EXPECT_TRUE(usage.rss_available);
+}
+
 TEST(Resource, PhaseFootprintGaugesAreLabeledPerPhase) {
   Registry reg;
   ResourceUsage start;
@@ -221,6 +254,7 @@ TEST(Resource, PhaseFootprintGaugesAreLabeledPerPhase) {
   start.user_cpu_us = 1000;
   end.user_cpu_us = 3500;
   end.rss_bytes = 8ull << 20;
+  end.rss_available = true;
   update_phase_resource_gauges(reg, "sampling", start, end);
   const MetricsSnapshot snap = reg.snapshot();
   const MetricSample* cpu = snap.find("ascdg_phase_cpu_ms", "phase=\"sampling\"");

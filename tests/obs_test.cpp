@@ -155,7 +155,13 @@ TEST(Export, PrometheusGolden) {
             "ascdg_demo_us_bucket{le=\"128\"} 3\n"
             "ascdg_demo_us_bucket{le=\"+Inf\"} 3\n"
             "ascdg_demo_us_sum 106\n"
-            "ascdg_demo_us_count 3\n");
+            "ascdg_demo_us_count 3\n"
+            "# TYPE ascdg_demo_us_p50 gauge\n"
+            "ascdg_demo_us_p50 3.5\n"
+            "# TYPE ascdg_demo_us_p95 gauge\n"
+            "ascdg_demo_us_p95 96\n"
+            "# TYPE ascdg_demo_us_p99 gauge\n"
+            "ascdg_demo_us_p99 96\n");
 }
 
 TEST(Export, LabelValuesAreEscapedInPrometheusText) {
@@ -217,6 +223,113 @@ TEST(Histogram, ZeroAndHugeValuesUseTheEndBuckets) {
   for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
     EXPECT_EQ(hist.bucket(i), 0u) << "bucket " << i;
   }
+}
+
+TEST(Registry, SnapshotIsDeterministicUnderConcurrentRegistration) {
+  // Eight threads race to register disjoint and shared series while a
+  // reader keeps snapshotting. Every snapshot must be internally
+  // sorted (the determinism contract), and the final snapshot must
+  // hold every series with its exact total.
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kSeriesPerThread = 25;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (int s = 0; s < kSeriesPerThread; ++s) {
+        reg.counter("race_total", {{"t", std::to_string(t)},
+                                   {"s", std::to_string(s)}})
+            .add(1);
+        reg.counter("race_shared_total").add(1);
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = reg.snapshot();
+    for (std::size_t j = 1; j < snap.samples.size(); ++j) {
+      const auto& a = snap.samples[j - 1];
+      const auto& b = snap.samples[j];
+      EXPECT_TRUE(a.name < b.name || (a.name == b.name && a.labels < b.labels))
+          << a.name << '{' << a.labels << "} before " << b.name << '{'
+          << b.labels << '}';
+    }
+  }
+  for (auto& w : writers) w.join();
+
+  const MetricsSnapshot final_snap = reg.snapshot();
+  ASSERT_EQ(final_snap.samples.size(),
+            static_cast<std::size_t>(kThreads * kSeriesPerThread + 1));
+  const MetricSample* shared = final_snap.find("race_shared_total");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->counter,
+            static_cast<std::uint64_t>(kThreads * kSeriesPerThread));
+  // Two snapshots of a quiesced registry are identical.
+  const MetricsSnapshot again = reg.snapshot();
+  for (std::size_t j = 0; j < final_snap.samples.size(); ++j) {
+    EXPECT_EQ(final_snap.samples[j].name, again.samples[j].name);
+    EXPECT_EQ(final_snap.samples[j].labels, again.samples[j].labels);
+    EXPECT_EQ(final_snap.samples[j].counter, again.samples[j].counter);
+  }
+}
+
+TEST(Histogram, QuantileInterpolatesInsideTheLog2Bucket) {
+  Registry reg;
+  Histogram& hist = reg.histogram("ascdg_q_us");
+  hist.observe(3);
+  hist.observe(3);
+  hist.observe(100);
+  const MetricsSnapshot snap = reg.snapshot();
+  const MetricSample* sample = snap.find("ascdg_q_us");
+  ASSERT_NE(sample, nullptr);
+  // rank(ceil(.5*3)=2) lands in bucket [2,4) holding 2 observations:
+  // 2 + (2 - 0 - 0.5)/2 * 2 = 3.5. rank 3 lands in [64,128): 96.
+  EXPECT_DOUBLE_EQ(histogram_quantile(*sample, 0.50), 3.5);
+  EXPECT_DOUBLE_EQ(histogram_quantile(*sample, 0.95), 96.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(*sample, 0.99), 96.0);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Registry reg;
+  // Empty histogram: every quantile is 0, not NaN.
+  const MetricsSnapshot empty = reg.snapshot();
+  Histogram& hist = reg.histogram("ascdg_edge_us");
+  {
+    const MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(histogram_quantile(*snap.find("ascdg_edge_us"), 0.5), 0.0);
+  }
+  (void)empty;
+
+  // A single observation: every quantile lands in its bucket.
+  hist.observe(0);  // bucket [0,2)
+  {
+    const MetricsSnapshot snap = reg.snapshot();
+    const MetricSample* sample = snap.find("ascdg_edge_us");
+    const double p50 = histogram_quantile(*sample, 0.50);
+    EXPECT_GE(p50, 0.0);
+    EXPECT_LT(p50, 2.0);
+    EXPECT_EQ(histogram_quantile(*sample, 0.99),
+              histogram_quantile(*sample, 0.01));
+  }
+
+  // Non-histogram samples report 0.
+  reg.counter("ascdg_edge_total").add(5);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(histogram_quantile(*snap.find("ascdg_edge_total"), 0.5), 0.0);
+}
+
+TEST(Export, JsonSnapshotCarriesHistogramQuantiles) {
+  Registry reg;
+  Histogram& hist = reg.histogram("ascdg_demo_us");
+  hist.observe(3);
+  hist.observe(3);
+  hist.observe(100);
+  std::ostringstream os;
+  write_json(os, reg.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"p50\":3.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p95\":96"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p99\":96"), std::string::npos) << text;
 }
 
 TEST(Export, JsonSnapshotShape) {

@@ -11,8 +11,10 @@
 
 #include <sys/wait.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "util/json.hpp"
@@ -154,6 +156,93 @@ TEST(SessionCli, ResumeRejectsChangedSeed) {
   EXPECT_NE(mismatched.output.find("different configuration"),
             std::string::npos)
       << mismatched.output;
+}
+
+TEST(SessionCli, InspectRendersTheSessionAndSelfCompareIsZeroDelta) {
+  const fs::path session = scratch_dir("inspect");
+  const CliResult ran =
+      run_cli(run_command(session, "--timeline=20 --trace"));
+  ASSERT_EQ(ran.exit_code, 0) << ran.output;
+  ASSERT_TRUE(fs::exists(session / "telemetry.jsonl"));
+  ASSERT_TRUE(fs::exists(session / "trace.jsonl"));
+
+  const CliResult inspected =
+      run_cli(std::string(ASCDG_CLI_PATH) + " inspect " + session.string());
+  EXPECT_EQ(inspected.exit_code, 0) << inspected.output;
+  EXPECT_NE(inspected.output.find("sims per covered event"),
+            std::string::npos)
+      << inspected.output;
+  EXPECT_NE(inspected.output.find("telemetry"), std::string::npos);
+  EXPECT_NE(inspected.output.find("span-trace profile"), std::string::npos);
+
+  const CliResult as_json = run_cli(std::string(ASCDG_CLI_PATH) +
+                                    " inspect " + session.string() + " --json");
+  EXPECT_EQ(as_json.exit_code, 0) << as_json.output;
+  EXPECT_NE(as_json.output.find("\"schema\":\"ascdg-inspect-v1\""),
+            std::string::npos)
+      << as_json.output;
+
+  // A session compared against itself must report exactly zero delta.
+  const CliResult compared =
+      run_cli(std::string(ASCDG_CLI_PATH) + " inspect " + session.string() +
+              " --compare " + session.string() + " --json");
+  EXPECT_EQ(compared.exit_code, 0) << compared.output;
+  EXPECT_NE(compared.output.find("\"delta_sims_per_covered_event\":0"),
+            std::string::npos)
+      << compared.output;
+  EXPECT_NE(compared.output.find("\"delta_total_sims\":0"), std::string::npos)
+      << compared.output;
+}
+
+TEST(SessionCli, InspectRejectsADirectoryWithoutArtifacts) {
+  const fs::path empty = scratch_dir("inspect_empty");
+  fs::create_directories(empty);
+  const CliResult result =
+      run_cli(std::string(ASCDG_CLI_PATH) + " inspect " + empty.string());
+  EXPECT_NE(result.exit_code, 0);
+  EXPECT_NE(result.output.find("not a session directory"), std::string::npos)
+      << result.output;
+}
+
+TEST(SessionCli, TimelineSequenceSurvivesKillAndResume) {
+  const fs::path session = scratch_dir("timeline_kill");
+  // Same crash point as KillMidOptimizationThenResume: telemetry's own
+  // index writes bypass the crash hook, so write #12 still lands
+  // mid-optimization.
+  const CliResult killed =
+      run_cli("ASCDG_CRASH_AFTER_WRITES=12 " +
+              run_command(session, "--timeline=10"));
+  ASSERT_EQ(killed.exit_code, 137) << killed.output;
+  ASSERT_TRUE(fs::exists(session / "telemetry.jsonl"));
+
+  const CliResult resumed =
+      run_cli(run_command(session, "--resume --timeline=10"));
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+
+  // One continuous history across the crash: seq is gapless from 0,
+  // exactly as a live /timeseries scrape would have replayed it.
+  std::ifstream in(session / "telemetry.jsonl");
+  std::string line;
+  std::uint64_t expected_seq = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = ascdg::util::json_parse(line);
+    EXPECT_EQ(doc.at("seq").as_uint64(), expected_seq) << line;
+    ++expected_seq;
+  }
+  EXPECT_GE(expected_seq, 2u);  // at least one sample per process
+
+  // The index was finalized by the resumed process and counts every
+  // line, including the crashed process's.
+  const auto index = ascdg::util::json_parse([&] {
+    std::ifstream idx(session / "telemetry.index.json");
+    std::string text((std::istreambuf_iterator<char>(idx)),
+                     std::istreambuf_iterator<char>());
+    return text;
+  }());
+  EXPECT_EQ(index.at("schema").as_string(), "ascdg-timeseries-v1");
+  EXPECT_TRUE(index.at("final").as_bool());
+  EXPECT_EQ(index.at("samples").as_uint64(), expected_seq);
 }
 
 TEST(SessionCli, ResumeWithoutSessionIsAnError) {

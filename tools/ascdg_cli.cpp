@@ -17,16 +17,21 @@
 //             [--serve[=PORT]] [--watchdog=SECS] [--flight-recorder=K]
 //   ascdg campaign <unit> --families F1,F2,... [budget flags as `run`]
 //             [--seed-template NAME] [--session DIR] [--resume]
-//             [--save-best FILE]
+//             [--save-best FILE] [--timeline[=MS]]
+//   ascdg inspect <session-dir> [--compare DIR2] [--json]
 //   ascdg metrics-dump [unit] [--sims N] [--json]
 //
 // Unknown flags are rejected (exit 1) rather than silently ignored.
 // Exit codes: 0 success, 1 usage error, 2 runtime error.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,11 +43,15 @@
 #include "coverage/repository_io.hpp"
 #include "duv/registry.hpp"
 #include "neighbors/neighbors.hpp"
+#include "flow/artifacts.hpp"
+#include "flow/session.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_profile.hpp"
 #include "obs/watchdog.hpp"
 #include "report/report.hpp"
 #include "stimgen/profile.hpp"
@@ -82,18 +91,28 @@ commands:
                        iteration into a durable session directory)
       [--resume] (restart from DIR's last checkpoint after a crash)
       [--save-before FILE.csv] [--before-csv FILE.csv]
-      [--trace FILE.jsonl] [--metrics FILE.json]
+      [--trace[ FILE.jsonl]] (bare --trace with --session writes
+                              DIR/trace.jsonl for `ascdg inspect`)
+      [--metrics FILE.json]
       [--serve[=PORT]] (live HTTP introspection on 127.0.0.1; bare
                         --serve picks an ephemeral port)
       [--watchdog=SECS] (flip /healthz to degraded after SECS without
                          progress while work is outstanding)
       [--flight-recorder=K] (keep the last K trace records in memory;
                              dumped on stall, crash, or /flightrecorder)
+      [--timeline[=MS]] (periodic telemetry sampling into the session's
+                         telemetry.jsonl + /timeseries; bare --timeline
+                         samples once a second)
   campaign <unit> --families F1,F2,...  multi-target flow: one shared
       [budget flags as `run`]        sampling phase, per-target
       [--seed-template NAME]         optimization + harvest
       [--session DIR] [--resume]     (independently resumable per target)
-      [--save-best FILE]
+      [--save-best FILE] [--timeline[=MS]]
+  inspect <session-dir>              offline analysis of a durable session
+      [--compare DIR2]               (or campaign root): stage costs,
+      [--json]                       coverage convergence, telemetry
+                                     timeline, span-trace profile;
+                                     --compare prints the A/B delta
   metrics-dump [unit] [--sims N]     run a small workload and dump the
       [--json]                       metrics registry (Prometheus text,
                                      or one JSON object with --json)
@@ -451,6 +470,19 @@ int cmd_run(Args& args) {
   }
   config.watchdog_stall_secs = args.size_value("--watchdog", 0);
   config.flight_recorder_records = args.size_value("--flight-recorder", 0);
+  // Bare --timeline samples once a second; --timeline=MS tunes it.
+  if (args.flag("--timeline")) {
+    config.timeline_interval_ms = 1000;
+  } else {
+    config.timeline_interval_ms = args.size_value("--timeline", 0);
+  }
+
+  // The telemetry sinks below (--trace, --timeline) may live inside the
+  // session directory, which Session::create would otherwise only make
+  // after the flow starts.
+  if (!config.session_dir.empty()) {
+    std::filesystem::create_directories(config.session_dir);
+  }
 
   // Declared before the tracer so it outlives the mirror (destruction
   // runs in reverse order).
@@ -459,6 +491,14 @@ int cmd_run(Args& args) {
   std::string trace_path;
   if (const auto path = args.value("--trace"); path.has_value()) {
     trace_path = *path;
+  } else if (args.flag("--trace") && !config.session_dir.empty()) {
+    // Bare --trace (no FILE) drops the sink into the session directory,
+    // where `ascdg inspect` picks it up.
+    trace_path = (std::filesystem::path(config.session_dir) /
+                  std::filesystem::path(flow::kTraceFile))
+                     .string();
+  }
+  if (!trace_path.empty()) {
     trace = std::make_unique<obs::Tracer>(trace_path);
     config.trace = trace.get();
   }
@@ -492,16 +532,33 @@ int cmd_run(Args& args) {
     wd_config.trace = config.trace;
     watchdog = std::make_unique<obs::Watchdog>(obs::registry(), wd_config);
   }
+  // Declared before the server so the /timeseries route never outlives
+  // the ring it reads.
+  std::unique_ptr<obs::TimeSeriesRecorder> timeline;
+  if (config.timeline_interval_ms != 0) {
+    obs::TimeSeriesConfig ts_config;
+    ts_config.sample_interval =
+        std::chrono::milliseconds(config.timeline_interval_ms);
+    ts_config.append = config.resume;
+    if (!config.session_dir.empty()) {
+      const std::filesystem::path session_dir = config.session_dir;
+      ts_config.jsonl_path = session_dir / flow::kTelemetryFile;
+      ts_config.index_path = session_dir / flow::kTelemetryIndexFile;
+    }
+    timeline = std::make_unique<obs::TimeSeriesRecorder>(ts_config);
+  }
   std::unique_ptr<obs::HttpServer> server;
   if (config.serve_port.has_value()) {
     obs::HttpServerConfig http_config;
     http_config.port = *config.serve_port;
     http_config.watchdog = watchdog.get();
     http_config.recorder = recorder.get();
+    http_config.timeline = timeline.get();
     server = std::make_unique<obs::HttpServer>(http_config);
     std::cerr << "serving live introspection on http://127.0.0.1:"
               << server->port()
-              << " (/metrics /metrics.json /healthz /runz /flightrecorder)\n";
+              << " (/metrics /metrics.json /healthz /runz /flightrecorder"
+              << " /timeseries)\n";
   }
 
   batch::SimFarm farm;
@@ -579,6 +636,15 @@ int cmd_run(Args& args) {
     std::cerr << "wrote " << trace->lines() << " trace events to "
               << trace_path << '\n';
   }
+  if (timeline != nullptr) {
+    timeline->stop();
+    std::cerr << "recorded " << timeline->samples_taken()
+              << " telemetry samples";
+    if (!config.session_dir.empty()) {
+      std::cerr << " in " << config.session_dir << '/' << flow::kTelemetryFile;
+    }
+    std::cerr << '\n';
+  }
   return 0;
 }
 
@@ -610,6 +676,25 @@ int cmd_campaign(Args& args) {
     config.session_dir = *session;
   }
   config.resume = args.flag("--resume");
+  if (args.flag("--timeline")) {
+    config.timeline_interval_ms = 1000;
+  } else {
+    config.timeline_interval_ms = args.size_value("--timeline", 0);
+  }
+  // The campaign timeline lives at the campaign root, spanning every
+  // per-target sub-session; without a session directory there is no
+  // durable home (or live server) for it, so it stays off.
+  std::unique_ptr<obs::TimeSeriesRecorder> timeline;
+  if (config.timeline_interval_ms != 0 && !config.session_dir.empty()) {
+    obs::TimeSeriesConfig ts_config;
+    ts_config.sample_interval =
+        std::chrono::milliseconds(config.timeline_interval_ms);
+    ts_config.append = config.resume;
+    const std::filesystem::path root = config.session_dir;
+    ts_config.jsonl_path = root / flow::kTelemetryFile;
+    ts_config.index_path = root / flow::kTelemetryIndexFile;
+    timeline = std::make_unique<obs::TimeSeriesRecorder>(ts_config);
+  }
 
   batch::SimFarm farm;
   const auto repo = simulate_suite(*unit, farm, before_sims);
@@ -697,6 +782,408 @@ int cmd_campaign(Args& args) {
     std::cerr << "wrote " << bests.size() << " best templates to " << *out
               << '\n';
   }
+  if (timeline != nullptr) {
+    timeline->stop();
+    std::cerr << "recorded " << timeline->samples_taken()
+              << " telemetry samples in " << config.session_dir << '/'
+              << flow::kTelemetryFile << '\n';
+  }
+  return 0;
+}
+
+// --- ascdg inspect: offline analysis of a durable session ----------------
+
+/// Everything `inspect` extracts from one session directory (or
+/// campaign root, whose sub-sessions are merged into one view).
+struct InspectData {
+  std::string dir;
+  bool campaign = false;
+  std::uint64_t seed = 0;
+  std::uint64_t resumes = 0;
+  std::string resumed_from;
+
+  struct StageRow {
+    std::string session;  ///< sub-session name; "" for a single session
+    std::string name;
+    std::string status;
+    std::size_t sims = 0;
+    double wall_ms = 0.0;
+  };
+  std::vector<StageRow> stages;
+
+  /// Coverage convergence: cumulative (sims, covered events) after each
+  /// completed phase artifact, in execution order.
+  struct Point {
+    std::string label;
+    std::size_t sims = 0;
+    std::size_t covered = 0;
+  };
+  std::vector<Point> convergence;
+  std::size_t total_sims = 0;
+  std::size_t covered_events = 0;
+  double wall_ms = 0.0;  ///< summed stage wall time
+  std::optional<opt::OptResult> optimization;  ///< first target's curve
+
+  bool has_telemetry = false;
+  std::uint64_t telemetry_samples = 0;
+  std::uint64_t telemetry_last_t_ms = 0;
+  std::uint64_t telemetry_peak_rss = 0;
+  double telemetry_max_sims_per_sec = 0.0;
+
+  bool has_trace = false;
+  obs::TraceProfile profile;
+
+  /// The headline efficiency number: flow simulations spent per event
+  /// the flow covered (0 when nothing was covered).
+  [[nodiscard]] double sims_per_covered_event() const noexcept {
+    return covered_events == 0 ? 0.0
+                               : static_cast<double>(total_sims) /
+                                     static_cast<double>(covered_events);
+  }
+};
+
+void merge_hits(std::vector<unsigned char>& hit_flags,
+                const coverage::SimStats& stats) {
+  if (stats.event_count() > hit_flags.size()) {
+    hit_flags.resize(stats.event_count(), 0);
+  }
+  for (std::size_t e = 0; e < stats.event_count(); ++e) {
+    if (stats.hits(coverage::EventId{static_cast<std::uint32_t>(e)}) > 0) {
+      hit_flags[e] = 1;
+    }
+  }
+}
+
+std::optional<flow::PhaseOutcome> read_phase_artifact(
+    const std::filesystem::path& file) {
+  if (!std::filesystem::exists(file)) return std::nullopt;
+  return flow::phase_outcome_from_json(flow::read_json_file(file).at("phase"));
+}
+
+/// Folds one session directory's manifest + phase artifacts into
+/// `data`, accumulating the covered-event union in `hit_flags`.
+void gather_session(const std::filesystem::path& dir,
+                    const std::string& session_label, InspectData& data,
+                    std::vector<unsigned char>& hit_flags) {
+  const util::JsonValue manifest =
+      flow::read_json_file(dir / "manifest.json");
+  if (manifest.at("schema").as_string() != flow::kSessionSchema) {
+    throw util::Error("'" + dir.string() + "' has unknown manifest schema '" +
+                      manifest.at("schema").as_string() + "'");
+  }
+  if (session_label.empty()) {
+    data.seed = flow::parse_hex_u64(manifest.at("seed"));
+    data.resumed_from = manifest.at("resumed_from").as_string();
+  }
+  data.resumes += manifest.at("resumes").as_uint64();
+  for (const auto& entry : manifest.at("stages").as_array()) {
+    InspectData::StageRow row;
+    row.session = session_label;
+    row.name = entry.at("name").as_string();
+    row.status = entry.at("status").as_string();
+    row.sims = entry.at("sims").as_size();
+    row.wall_ms = entry.at("wall_ms").as_double();
+    data.wall_ms += row.wall_ms;
+    data.stages.push_back(std::move(row));
+  }
+
+  const auto add_point = [&](const flow::PhaseOutcome& phase) {
+    data.total_sims += phase.sims;
+    merge_hits(hit_flags, phase.stats);
+    std::size_t covered = 0;
+    for (const unsigned char flag : hit_flags) covered += flag;
+    std::string label = phase.name;
+    if (!session_label.empty()) label = session_label + ": " + label;
+    data.convergence.push_back({std::move(label), data.total_sims, covered});
+  };
+  if (const auto phase = read_phase_artifact(dir / "sampling.json")) {
+    add_point(*phase);
+  }
+  // refinement.json supersedes optimization.json: its "phase" is the
+  // optimization phase with the refinement sims folded in.
+  const std::filesystem::path refinement = dir / "refinement.json";
+  const std::filesystem::path optimization = dir / "optimization.json";
+  if (std::filesystem::exists(refinement)) {
+    add_point(flow::phase_outcome_from_json(
+        flow::read_json_file(refinement).at("phase")));
+  } else if (const auto phase = read_phase_artifact(optimization)) {
+    add_point(*phase);
+  }
+  if (!data.optimization.has_value() &&
+      std::filesystem::exists(optimization)) {
+    data.optimization = flow::opt_result_from_json(
+        flow::read_json_file(optimization).at("optimization"));
+  }
+  if (const auto phase = read_phase_artifact(dir / "harvest.json")) {
+    add_point(*phase);
+  }
+}
+
+/// Summarizes the session's telemetry.jsonl (when present). Malformed
+/// lines — say, the torn tail of a crashed run — are skipped.
+void gather_telemetry(const std::filesystem::path& dir, InspectData& data) {
+  std::ifstream in(dir / std::filesystem::path(flow::kTelemetryFile));
+  if (!in) return;
+  data.has_telemetry = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const util::JsonValue doc = util::json_parse(line);
+      ++data.telemetry_samples;
+      data.telemetry_last_t_ms = doc.at("t_ms").as_uint64();
+      if (const auto* rate = doc.find("sims_per_sec");
+          rate != nullptr && rate->is_number()) {
+        data.telemetry_max_sims_per_sec =
+            std::max(data.telemetry_max_sims_per_sec, rate->as_double());
+      }
+      for (const char* key : {"rss_bytes", "max_rss_bytes"}) {
+        if (const auto* rss = doc.find(key);
+            rss != nullptr && rss->is_number()) {
+          data.telemetry_peak_rss =
+              std::max(data.telemetry_peak_rss, rss->as_uint64());
+        }
+      }
+    } catch (const std::exception&) {
+      // torn tail of a crashed run — the rest of the file still counts
+    }
+  }
+}
+
+InspectData inspect_dir(const std::filesystem::path& dir) {
+  InspectData data;
+  data.dir = dir.string();
+  std::vector<unsigned char> hit_flags;
+  if (std::filesystem::exists(dir / "manifest.json")) {
+    gather_session(dir, "", data, hit_flags);
+  } else if (std::filesystem::exists(dir / "campaign.json")) {
+    data.campaign = true;
+    const util::JsonValue doc = flow::read_json_file(dir / "campaign.json");
+    data.seed = flow::parse_hex_u64(doc.at("seed"));
+    std::vector<std::filesystem::path> subs;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.is_directory() &&
+          std::filesystem::exists(entry.path() / "manifest.json")) {
+        subs.push_back(entry.path());
+      }
+    }
+    std::sort(subs.begin(), subs.end());
+    // The shared sampling session ran first; two-digit target dirs
+    // otherwise keep execution order lexicographically.
+    std::stable_partition(subs.begin(), subs.end(),
+                          [](const std::filesystem::path& p) {
+                            return p.filename() == "shared";
+                          });
+    for (const auto& sub : subs) {
+      gather_session(sub, sub.filename().string(), data, hit_flags);
+    }
+  } else {
+    throw util::Error("'" + dir.string() +
+                      "' is not a session directory (no manifest.json or "
+                      "campaign.json)");
+  }
+  std::size_t covered = 0;
+  for (const unsigned char flag : hit_flags) covered += flag;
+  data.covered_events = covered;
+
+  gather_telemetry(dir, data);
+  const std::filesystem::path trace =
+      dir / std::filesystem::path(flow::kTraceFile);
+  if (std::filesystem::exists(trace)) {
+    data.has_trace = true;
+    data.profile = obs::TraceProfile::from_jsonl(trace);
+  }
+  return data;
+}
+
+void render_inspection(std::ostream& os, const InspectData& data) {
+  os << (data.campaign ? "campaign" : "session") << ": " << data.dir
+     << "\nseed: " << data.seed << "  resumes: " << data.resumes;
+  if (!data.resumed_from.empty()) {
+    os << " (last picked up after '" << data.resumed_from << "')";
+  }
+  os << '\n';
+
+  util::Table stage_table({"session", "stage", "status", "sims", "wall ms"});
+  for (const auto& row : data.stages) {
+    stage_table.add_row({row.session.empty() ? "-" : row.session, row.name,
+                         row.status, util::format_count(row.sims),
+                         util::format_number(row.wall_ms, 4)});
+  }
+  os << '\n';
+  stage_table.render(os, false);
+
+  if (data.optimization.has_value() && !data.optimization->trace.empty()) {
+    os << "\noptimization convergence (best value per iteration):\n";
+    report::render_trace(os, *data.optimization);
+  }
+
+  os << "\ncoverage convergence (cumulative sims -> covered events):\n";
+  util::Table curve({"phase", "cumulative sims", "covered events"});
+  for (const auto& point : data.convergence) {
+    curve.add_row({point.label, util::format_count(point.sims),
+                   std::to_string(point.covered)});
+  }
+  curve.render(os, false);
+  os << "covered events: " << data.covered_events
+     << "  flow sims: " << util::format_count(data.total_sims)
+     << "  sims per covered event: "
+     << util::format_number(data.sims_per_covered_event(), 3)
+     << "\nwall time (stages): " << util::format_number(data.wall_ms, 4)
+     << " ms\n";
+
+  if (data.has_telemetry) {
+    os << "\ntelemetry (" << flow::kTelemetryFile
+       << "): " << data.telemetry_samples << " samples over "
+       << data.telemetry_last_t_ms << " ms";
+    if (data.telemetry_peak_rss != 0) {
+      os << ", peak RSS "
+         << util::format_number(
+                static_cast<double>(data.telemetry_peak_rss) / (1024.0 * 1024.0),
+                1)
+         << " MiB";
+    }
+    if (data.telemetry_max_sims_per_sec > 0.0) {
+      os << ", peak "
+         << util::format_number(data.telemetry_max_sims_per_sec, 3)
+         << " sims/s";
+    }
+    os << '\n';
+  }
+
+  if (data.has_trace) {
+    os << "\nspan-trace profile (" << flow::kTraceFile << ", "
+       << data.profile.spans() << " spans):\n";
+    data.profile.render(os);
+  }
+}
+
+std::string inspection_json(const InspectData& data) {
+  util::JsonObject obj;
+  obj.add("dir", data.dir)
+      .add("campaign", data.campaign)
+      .add("seed", data.seed)
+      .add("resumes", data.resumes)
+      .add("total_sims", data.total_sims)
+      .add("covered_events", data.covered_events)
+      .add("sims_per_covered_event", data.sims_per_covered_event())
+      .add("wall_ms", data.wall_ms);
+  std::string curve = "[";
+  for (std::size_t i = 0; i < data.convergence.size(); ++i) {
+    if (i != 0) curve += ',';
+    curve += util::JsonObject{}
+                 .add("phase", data.convergence[i].label)
+                 .add("sims", data.convergence[i].sims)
+                 .add("covered", data.convergence[i].covered)
+                 .str();
+  }
+  curve += ']';
+  obj.add_raw("convergence", curve);
+  if (data.has_telemetry) {
+    obj.add_raw("telemetry",
+                util::JsonObject{}
+                    .add("samples", data.telemetry_samples)
+                    .add("wall_ms", data.telemetry_last_t_ms)
+                    .add("peak_rss_bytes", data.telemetry_peak_rss)
+                    .add("max_sims_per_sec", data.telemetry_max_sims_per_sec)
+                    .str());
+  }
+  if (data.has_trace) {
+    std::string spans = "[";
+    bool first = true;
+    for (const auto& node : data.profile.flatten()) {
+      if (!first) spans += ',';
+      first = false;
+      spans += util::JsonObject{}
+                   .add("name", node.name)
+                   .add("depth", node.depth)
+                   .add("count", node.count)
+                   .add("total_us", node.total_us)
+                   .add("self_us", node.self_us)
+                   .add("p50_us", node.p50_us)
+                   .add("p95_us", node.p95_us)
+                   .add("p99_us", node.p99_us)
+                   .str();
+    }
+    spans += ']';
+    obj.add_raw("profile", spans);
+  }
+  return obj.str();
+}
+
+int cmd_inspect(Args& args) {
+  const auto dir = args.positional();
+  if (!dir.has_value()) {
+    std::cerr << "inspect: a session directory is required\n";
+    return 1;
+  }
+  const bool as_json = args.flag("--json");
+  const auto compare_dir = args.value("--compare");
+
+  const InspectData a = inspect_dir(*dir);
+  if (!compare_dir.has_value()) {
+    if (as_json) {
+      std::cout << util::JsonObject{}
+                       .add("schema", "ascdg-inspect-v1")
+                       .add_raw("session", inspection_json(a))
+                       .str()
+                << '\n';
+    } else {
+      render_inspection(std::cout, a);
+    }
+    return 0;
+  }
+
+  const InspectData b = inspect_dir(*compare_dir);
+  const double delta_spce =
+      b.sims_per_covered_event() - a.sims_per_covered_event();
+  if (as_json) {
+    std::cout << util::JsonObject{}
+                     .add("schema", "ascdg-inspect-v1")
+                     .add_raw("session", inspection_json(a))
+                     .add_raw("compare", inspection_json(b))
+                     .add("delta_sims_per_covered_event", delta_spce)
+                     .add("delta_covered_events",
+                          static_cast<std::int64_t>(b.covered_events) -
+                              static_cast<std::int64_t>(a.covered_events))
+                     .add("delta_total_sims",
+                          static_cast<std::int64_t>(b.total_sims) -
+                              static_cast<std::int64_t>(a.total_sims))
+                     .add("delta_wall_ms", b.wall_ms - a.wall_ms)
+                     .add("delta_peak_rss_bytes",
+                          static_cast<std::int64_t>(b.telemetry_peak_rss) -
+                              static_cast<std::int64_t>(a.telemetry_peak_rss))
+                     .str()
+              << '\n';
+    return 0;
+  }
+
+  render_inspection(std::cout, a);
+  std::cout << "\n=== compared against " << b.dir << " ===\n";
+  render_inspection(std::cout, b);
+  util::Table delta({"metric", "A", "B", "delta (B-A)"});
+  delta.add_row({"sims per covered event",
+                 util::format_number(a.sims_per_covered_event(), 2),
+                 util::format_number(b.sims_per_covered_event(), 2),
+                 util::format_number(delta_spce, 2)});
+  delta.add_row({"covered events", std::to_string(a.covered_events),
+                 std::to_string(b.covered_events),
+                 std::to_string(static_cast<std::int64_t>(b.covered_events) -
+                                static_cast<std::int64_t>(a.covered_events))});
+  delta.add_row({"flow sims", util::format_count(a.total_sims),
+                 util::format_count(b.total_sims),
+                 std::to_string(static_cast<std::int64_t>(b.total_sims) -
+                                static_cast<std::int64_t>(a.total_sims))});
+  delta.add_row({"wall ms", util::format_number(a.wall_ms, 4),
+                 util::format_number(b.wall_ms, 4),
+                 util::format_number(b.wall_ms - a.wall_ms, 4)});
+  delta.add_row(
+      {"peak RSS bytes", std::to_string(a.telemetry_peak_rss),
+       std::to_string(b.telemetry_peak_rss),
+       std::to_string(static_cast<std::int64_t>(b.telemetry_peak_rss) -
+                      static_cast<std::int64_t>(a.telemetry_peak_rss))});
+  std::cout << "\ndelta (B - A):\n";
+  delta.render(std::cout, false);
   return 0;
 }
 
@@ -761,6 +1248,8 @@ int main(int argc, char** argv) {
       rc = cmd_run(args);
     } else if (command == "campaign") {
       rc = cmd_campaign(args);
+    } else if (command == "inspect") {
+      rc = cmd_inspect(args);
     } else if (command == "metrics-dump") {
       rc = cmd_metrics_dump(args);
     } else {

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Folds google-benchmark JSON output into BENCH_summary.json.
+
+CI runs several bench binaries and archives each raw JSON; this script
+reduces them to the handful of headline numbers a human (or a trend
+dashboard) actually tracks per commit:
+
+  * simulation throughput (sims/sec) at 1 worker and at 8 workers, from
+    the BM_FarmRun scaling sweep;
+  * the farm's full worker-scaling curve;
+  * the --timeline sampling cost (BM_TimeSeriesSample);
+  * per-benchmark medians (real time + items/sec) across every input
+    file, so repeated or re-run benches aggregate instead of clobbering.
+
+Stdlib only — CI must not need a pip install. Exits non-zero when a
+required headline benchmark is missing from the inputs, so a silently
+renamed bench fails the pipeline instead of producing a hollow summary.
+
+Usage: bench_summary.py -o BENCH_summary.json BENCH_a.json [BENCH_b.json ...]
+"""
+
+import argparse
+import json
+import re
+import statistics
+import sys
+
+SCHEMA = "ascdg-bench-summary-v1"
+
+# Headline benches the summary cannot do without.
+REQUIRED = [
+    "BM_FarmRun/1",
+    "BM_FarmRun/8",
+    "BM_TimeSeriesSample",
+]
+
+# google-benchmark appends aggregate suffixes when repetitions are on;
+# fold them into the base name and let the median handle the rest.
+AGGREGATE_RE = re.compile(r"_(mean|median|stddev|cv|min|max)$")
+
+
+def load_entries(paths):
+    """Yields (name, entry) for every non-aggregate benchmark record."""
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        for entry in doc.get("benchmarks", []):
+            if entry.get("run_type") == "aggregate":
+                continue
+            name = AGGREGATE_RE.sub("", entry["name"])
+            yield name, entry
+
+
+def median_of(entries, key):
+    values = [e[key] for e in entries if key in e]
+    return statistics.median(values) if values else None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="benchmark JSON files")
+    parser.add_argument("-o", "--output", default="BENCH_summary.json")
+    args = parser.parse_args(argv)
+
+    by_name = {}
+    for name, entry in load_entries(args.inputs):
+        by_name.setdefault(name, []).append(entry)
+    if not by_name:
+        print("bench_summary: no benchmark records in inputs", file=sys.stderr)
+        return 1
+
+    missing = [name for name in REQUIRED if name not in by_name]
+    if missing:
+        print(
+            "bench_summary: required benchmarks missing: " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 1
+
+    medians = {}
+    for name in sorted(by_name):
+        entries = by_name[name]
+        record = {
+            "runs": len(entries),
+            "real_time": median_of(entries, "real_time"),
+            "time_unit": entries[0].get("time_unit", "ns"),
+        }
+        items = median_of(entries, "items_per_second")
+        if items is not None:
+            record["items_per_second"] = items
+        medians[name] = record
+
+    farm_scaling = {}
+    for name, entries in by_name.items():
+        match = re.fullmatch(r"BM_FarmRun/(\d+)", name)
+        if match:
+            farm_scaling[match.group(1)] = median_of(entries, "items_per_second")
+
+    summary = {
+        "schema": SCHEMA,
+        "inputs": args.inputs,
+        # The headline: how many simulations per second the farm
+        # sustains serially and at the paper's 8-worker configuration.
+        "sims_per_sec_1_worker": farm_scaling.get("1"),
+        "sims_per_sec_8_workers": farm_scaling.get("8"),
+        "farm_sims_per_sec_by_workers": farm_scaling,
+        "timeline_sample_ns": median_of(
+            by_name["BM_TimeSeriesSample"], "real_time"
+        ),
+        "medians": medians,
+    }
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(
+        "bench_summary: %d benchmarks -> %s (1w %.0f sims/s, 8w %.0f sims/s)"
+        % (
+            len(medians),
+            args.output,
+            summary["sims_per_sec_1_worker"] or 0.0,
+            summary["sims_per_sec_8_workers"] or 0.0,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
