@@ -119,6 +119,51 @@ void BM_CoverageRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_CoverageRecord);
 
+// Word-level union of one simulation's bitmap into an accumulator — the
+// merge the farm's partials and the repository lean on.
+void BM_CoverageOrInto(benchmark::State& state) {
+  const duv::Ifu ifu;  // largest space (260+ events)
+  coverage::CoverageVector acc(ifu.space().size());
+  const auto vec = ifu.simulate(ifu.defaults(), 3);
+  for (auto _ : state) {
+    acc.merge(vec);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoverageOrInto);
+
+void BM_CoveragePopcount(benchmark::State& state) {
+  const duv::Ifu ifu;
+  const auto vec = ifu.simulate(ifu.defaults(), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec.popcount());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoveragePopcount);
+
+// One batched kernel step: a full farm-chunk-wide simulate_batch call
+// with precompiled tables — the farm's unit of work minus scheduling.
+// items/sec here is per-simulation kernel throughput.
+void BM_DuvStep(benchmark::State& state) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  const auto compiled = io.compile(tmpl);
+  constexpr std::size_t kWidth = 64;
+  std::vector<std::uint64_t> seeds(kWidth);
+  std::vector<coverage::CoverageVector> out(kWidth);
+  std::uint64_t next = 1;
+  for (auto _ : state) {
+    for (auto& s : seeds) s = next++;
+    io.simulate_batch(tmpl, compiled.get(), seeds, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWidth));
+}
+BENCHMARK(BM_DuvStep);
+
 void BM_TacBestTemplates(benchmark::State& state) {
   const duv::IoUnit io;
   batch::SimFarm farm(2);
@@ -193,6 +238,76 @@ void BM_FarmRunAllMetricsOff(benchmark::State& state) {
   obs::set_metrics_enabled(true);
 }
 BENCHMARK(BM_FarmRunAllMetricsOff)->Arg(2)->Arg(8);
+
+// The refactor's throughput headline, measured in wall-clock time: the
+// run_all hot shape with chunks dispatched as batch-of-seeds kernel
+// calls over compiled tables. UseRealTime makes items/sec the farm's
+// true sims/sec at the given worker count (the cpu-time variants above
+// divide by a mostly-blocked main thread instead).
+void BM_FarmRunAllBatched(benchmark::State& state) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<batch::SimFarm::Job> jobs(
+      kJobs, batch::SimFarm::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kJobs * kSimsPerJob));
+}
+BENCHMARK(BM_FarmRunAllBatched)->Arg(1)->Arg(8)->UseRealTime();
+
+/// IoUnit with compile()/simulate_batch() hidden behind the scalar
+/// fallback — exactly how an external RTL wrapper presents itself, and
+/// the per-simulation baseline the batched path is compared against.
+class ScalarIoUnit final : public duv::Duv {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "io_unit_scalar";
+  }
+  [[nodiscard]] const coverage::CoverageSpace& space() const noexcept override {
+    return io_.space();
+  }
+  [[nodiscard]] const tgen::TestTemplate& defaults() const noexcept override {
+    return io_.defaults();
+  }
+  [[nodiscard]] coverage::CoverageVector simulate(
+      const tgen::TestTemplate& tmpl, std::uint64_t seed) const override {
+    return io_.simulate(tmpl, seed);
+  }
+  [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override {
+    return io_.suite();
+  }
+
+ private:
+  duv::IoUnit io_;
+};
+
+// Scalar-dispatch baseline for BM_FarmRunAllBatched: same workload, no
+// shared compiled tables, one simulate() per instance. The bench summary
+// fails the CI job if batched sims/sec regresses below this.
+void BM_FarmRunAllScalar(benchmark::State& state) {
+  const ScalarIoUnit io;
+  const auto& tmpl = io.defaults();
+  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<batch::SimFarm::Job> jobs(
+      kJobs, batch::SimFarm::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kJobs * kSimsPerJob));
+}
+BENCHMARK(BM_FarmRunAllScalar)->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_MetricsCounterAdd(benchmark::State& state) {
   obs::Counter& counter =

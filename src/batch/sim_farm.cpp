@@ -13,17 +13,95 @@
 namespace ascdg::batch {
 
 namespace {
-/// Simulations per work chunk: large enough to amortize queue overhead,
-/// small enough to load-balance (and steal well) across workers.
+/// Simulations per work chunk: large enough to amortize queue overhead
+/// (and give simulate_batch a wide SoA batch), small enough to
+/// load-balance (and steal well) across workers.
 constexpr std::size_t kChunk = 64;
+
+/// Initial per-worker ring capacity (chunks). Rings grow on demand and
+/// never shrink, so a steady workload allocates once.
+constexpr std::size_t kInitialRingCapacity = 64;
 
 constexpr std::size_t kNotAWorker = std::numeric_limits<std::size_t>::max();
 
 /// Index of the farm worker running on this thread; kNotAWorker on
-/// caller threads. Chunk tasks use it to pick their lock-free partial
+/// caller threads. Chunks use it to pick their lock-free partial
 /// accumulator slot.
 thread_local std::size_t tls_worker = kNotAWorker;
+
+/// Per-worker batch arena: seed and coverage-vector storage reused
+/// across chunks, so the steady-state hot path performs no heap
+/// allocation (simulate_batch overwrites the vectors in place).
+struct Workspace {
+  std::vector<std::uint64_t> seeds;
+  std::vector<coverage::CoverageVector> vectors;
+};
+
+Workspace& batch_workspace() {
+  static thread_local Workspace ws;
+  return ws;
+}
 }  // namespace
+
+/// Shared state of one run_all() call. Lives on the caller's stack: the
+/// all_done handshake guarantees no worker can still touch it once the
+/// caller's wait returns.
+struct SimFarm::RunContext {
+  const duv::Duv* duv = nullptr;
+  std::span<const Job> jobs;
+  std::size_t job_n = 0;
+  /// Per-job compiled distribution tables, built once before any chunk
+  /// is enqueued (nullptr for units that do not override Duv::compile —
+  /// their simulate_batch falls back to the scalar loop).
+  std::vector<std::unique_ptr<duv::Duv::Compiled>> compiled;
+  /// (worker, job)-sliced partials, worker-major [w * job_n + j]; the
+  /// simulation loop is lock-free, the caller merges once at join time.
+  std::vector<coverage::SimStats> partial;
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr error;
+  /// Set under `mutex` by whoever retires the last chunk; the caller's
+  /// wait predicate reads it under the same mutex, so a spurious wakeup
+  /// can never release the caller while a worker still holds `this`.
+  bool all_done = false;
+};
+
+void SimFarm::ChunkRing::reserve(std::size_t capacity) {
+  std::size_t cap = 1;
+  while (cap < capacity) cap <<= 1;
+  if (cap > buf_.size()) grow(cap);
+}
+
+void SimFarm::ChunkRing::grow(std::size_t capacity) {
+  std::vector<ChunkRef> next(capacity);
+  for (std::size_t i = 0; i < size_; ++i) {
+    next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
+void SimFarm::ChunkRing::push_back(const ChunkRef& chunk) {
+  if (size_ == buf_.size()) {
+    grow(std::max<std::size_t>(kInitialRingCapacity, buf_.size() * 2));
+  }
+  buf_[(head_ + size_) & (buf_.size() - 1)] = chunk;
+  ++size_;
+}
+
+SimFarm::ChunkRef SimFarm::ChunkRing::pop_back() noexcept {
+  --size_;
+  return buf_[(head_ + size_) & (buf_.size() - 1)];
+}
+
+SimFarm::ChunkRef SimFarm::ChunkRing::pop_front() noexcept {
+  const ChunkRef chunk = buf_[head_];
+  head_ = (head_ + 1) & (buf_.size() - 1);
+  --size_;
+  return chunk;
+}
 
 SimFarm::SimFarm(std::size_t num_threads)
     : worker_n_(num_threads != 0
@@ -55,6 +133,9 @@ SimFarm::SimFarm(std::size_t num_threads)
   created_ns_ = util::monotonic_ns();
 
   queues_ = std::make_unique<WorkerQueue[]>(worker_n_);
+  for (std::size_t i = 0; i < worker_n_; ++i) {
+    queues_[i].tasks.reserve(kInitialRingCapacity);
+  }
   workers_.reserve(worker_n_);
   for (std::size_t i = 0; i < worker_n_; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -80,7 +161,7 @@ SimFarm::~SimFarm() {
   for (auto& worker : workers_) worker.join();
 }
 
-bool SimFarm::take_task(std::size_t index, Task& task) {
+bool SimFarm::take_task(std::size_t index, ChunkRef& chunk) {
   for (std::size_t k = 0; k < worker_n_; ++k) {
     const std::size_t q = (index + k) % worker_n_;
     WorkerQueue& queue = queues_[q];
@@ -88,12 +169,10 @@ bool SimFarm::take_task(std::size_t index, Task& task) {
     if (queue.tasks.empty()) continue;
     if (k == 0) {
       // Own deque: LIFO keeps the most recently pushed (cache-warm) end.
-      task = std::move(queue.tasks.back());
-      queue.tasks.pop_back();
+      chunk = queue.tasks.pop_back();
     } else {
-      // Steal the oldest task from the victim's other end.
-      task = std::move(queue.tasks.front());
-      queue.tasks.pop_front();
+      // Steal the oldest chunk from the victim's other end.
+      chunk = queue.tasks.pop_front();
     }
     tasks_pending_.fetch_sub(1, std::memory_order_relaxed);
     // Gauge decrement happens while still holding the victim deque's
@@ -108,11 +187,10 @@ bool SimFarm::take_task(std::size_t index, Task& task) {
 
 void SimFarm::worker_loop(std::size_t index) {
   tls_worker = index;
-  Task task;
+  ChunkRef chunk;
   for (;;) {
-    if (take_task(index, task)) {
-      task();
-      task = nullptr;  // drop captured state before (possibly) parking
+    if (take_task(index, chunk)) {
+      execute_chunk(chunk);
       continue;
     }
     std::unique_lock lock(sleep_mutex_);
@@ -127,19 +205,19 @@ void SimFarm::worker_loop(std::size_t index) {
   }
 }
 
-void SimFarm::enqueue(Task task) {
+void SimFarm::enqueue(const ChunkRef& chunk) {
   ASCDG_ASSERT(!stopping_.load(std::memory_order_acquire),
                "enqueue on a stopping SimFarm");
   const std::size_t q =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % worker_n_;
   // Order matters: pending count and depth telemetry rise before the
-  // task becomes stealable, so neither can ever observe a negative.
+  // chunk becomes stealable, so neither can ever observe a negative.
   tasks_pending_.fetch_add(1, std::memory_order_release);
   metrics_.enqueued->inc();
   metrics_.queue_depth->add(1);
   {
     const std::scoped_lock lock(queues_[q].mutex);
-    queues_[q].tasks.push_back(std::move(task));
+    queues_[q].tasks.push_back(chunk);
   }
   {
     // Empty critical section: a worker that just evaluated its wait
@@ -147,6 +225,58 @@ void SimFarm::enqueue(Task task) {
     const std::scoped_lock lock(sleep_mutex_);
   }
   sleep_cv_.notify_one();
+}
+
+void SimFarm::execute_chunk(const ChunkRef& chunk) {
+  RunContext& ctx = *chunk.ctx;
+  // Fail fast: once one chunk of the run failed, its siblings skip
+  // their simulations but still retire through the countdown below.
+  if (!ctx.failed.load(std::memory_order_acquire)) {
+    try {
+      ASCDG_ASSERT(tls_worker < worker_n_,
+                   "batch chunk executing off the worker pool");
+      const auto start = std::chrono::steady_clock::now();
+      const Job& job = ctx.jobs[chunk.job];
+      const std::size_t n = chunk.end - chunk.begin;
+      Workspace& ws = batch_workspace();
+      ws.seeds.resize(n);
+      const util::SeedStream stream(job.seed_root);
+      for (std::size_t i = 0; i < n; ++i) {
+        ws.seeds[i] = stream.at(chunk.begin + i);
+      }
+      if (ws.vectors.size() < n) {
+        ws.vectors.resize(n, coverage::CoverageVector(0));
+      }
+      ctx.duv->simulate_batch(
+          *job.tmpl, ctx.compiled[chunk.job].get(),
+          std::span<const std::uint64_t>(ws.seeds.data(), n),
+          std::span<coverage::CoverageVector>(ws.vectors.data(), n));
+      coverage::SimStats& acc =
+          ctx.partial[tls_worker * ctx.job_n + chunk.job];
+      for (std::size_t i = 0; i < n; ++i) acc.record(ws.vectors[i]);
+      const auto wall_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      metrics_.simulations->add(n);
+      metrics_.chunks->inc();
+      metrics_.busy_ns->add(wall_ns);
+      metrics_.chunk_latency_us->observe(wall_ns / 1000);
+    } catch (...) {
+      metrics_.exceptions->inc();
+      const std::scoped_lock lock(ctx.mutex);
+      if (ctx.error == nullptr) ctx.error = std::current_exception();
+      ctx.failed.store(true, std::memory_order_release);
+    }
+  }
+  // Every path retires the chunk; the last one wakes the caller. Once
+  // all_done is published the caller may destroy the context, so this
+  // must be the worker's final touch of ctx.
+  if (ctx.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::scoped_lock lock(ctx.mutex);
+    ctx.all_done = true;
+    ctx.done.notify_all();
+  }
 }
 
 coverage::SimStats SimFarm::run(const duv::Duv& duv,
@@ -181,18 +311,6 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
   const std::size_t event_count = duv.space().size();
   const std::size_t job_n = jobs.size();
 
-  // Completion tracking shared by all chunks of this call. Partials are
-  // (worker, job)-sliced so the simulate loop is lock-free; the single
-  // mutex only serializes first-error capture and the final wakeup.
-  struct Pending {
-    std::vector<coverage::SimStats> partial;  // worker-major [w * jobs + j]
-    std::atomic<std::size_t> remaining{0};
-    std::atomic<bool> failed{false};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;
-  };
-
   std::size_t chunk_count = 0;
   for (const Job& job : jobs) {
     ASCDG_ASSERT(job.tmpl != nullptr, "job with null template");
@@ -205,93 +323,62 @@ std::vector<coverage::SimStats> SimFarm::run_all(const duv::Duv& duv,
                                            coverage::SimStats(event_count));
   }
 
-  auto pending = std::make_shared<Pending>();
-  pending->remaining.store(chunk_count, std::memory_order_relaxed);
-  pending->partial.assign(worker_n_ * job_n, coverage::SimStats(event_count));
+  RunContext ctx;
+  ctx.duv = &duv;
+  ctx.jobs = jobs;
+  ctx.job_n = job_n;
+  // Compile every job's template once, before anything is enqueued: all
+  // chunks of a job share the read-only tables instead of re-resolving
+  // (overrides, defaults) per simulation. A compile failure propagates
+  // here with no chunks outstanding.
+  ctx.compiled.reserve(job_n);
+  for (const Job& job : jobs) ctx.compiled.push_back(duv.compile(*job.tmpl));
+  ctx.partial.assign(worker_n_ * job_n, coverage::SimStats(event_count));
+  ctx.remaining.store(chunk_count, std::memory_order_relaxed);
 
   std::size_t enqueued = 0;
   std::exception_ptr submit_error;
   for (std::size_t j = 0; j < job_n && submit_error == nullptr; ++j) {
-    const Job job = jobs[j];
-    const util::SeedStream seeds(job.seed_root);
-    for (std::size_t begin = 0; begin < job.count; begin += kChunk) {
-      const std::size_t end = std::min(begin + kChunk, job.count);
+    for (std::size_t begin = 0; begin < jobs[j].count; begin += kChunk) {
+      const std::size_t end = std::min(begin + kChunk, jobs[j].count);
       try {
-        enqueue([this, &duv, job, j, job_n, begin, end, seeds, pending] {
-          // Fail fast: once one chunk failed, its siblings skip their
-          // simulations but still retire through the countdown below.
-          if (!pending->failed.load(std::memory_order_acquire)) {
-            try {
-              ASCDG_ASSERT(tls_worker < worker_n_,
-                           "batch chunk executing off the worker pool");
-              const auto start = std::chrono::steady_clock::now();
-              coverage::SimStats& acc =
-                  pending->partial[tls_worker * job_n + j];
-              for (std::size_t i = begin; i < end; ++i) {
-                acc.record(duv.simulate(*job.tmpl, seeds.at(i)));
-              }
-              const auto wall_ns = static_cast<std::uint64_t>(
-                  std::chrono::duration_cast<std::chrono::nanoseconds>(
-                      std::chrono::steady_clock::now() - start)
-                      .count());
-              metrics_.simulations->add(end - begin);
-              metrics_.chunks->inc();
-              metrics_.busy_ns->add(wall_ns);
-              metrics_.chunk_latency_us->observe(wall_ns / 1000);
-            } catch (...) {
-              metrics_.exceptions->inc();
-              const std::scoped_lock lock(pending->mutex);
-              if (pending->error == nullptr) {
-                pending->error = std::current_exception();
-              }
-              pending->failed.store(true, std::memory_order_release);
-            }
-          }
-          // Every path retires the chunk; the last one wakes the caller.
-          if (pending->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-              1) {
-            const std::scoped_lock lock(pending->mutex);
-            pending->done.notify_all();
-          }
-        });
+        enqueue(ChunkRef{&ctx, j, begin, end});
         ++enqueued;
       } catch (...) {
         // enqueue refused (farm stopping): the missing chunks will never
-        // run, so retire them here, then wait out the ones already queued.
+        // run, so retire them here, then wait out the ones already
+        // queued. If that retires the whole run (nothing was enqueued,
+        // or every queued chunk already finished), publish all_done
+        // ourselves — no worker is left to do it.
         submit_error = std::current_exception();
-        pending->remaining.fetch_sub(chunk_count - enqueued,
-                                     std::memory_order_acq_rel);
+        const std::size_t missing = chunk_count - enqueued;
+        if (ctx.remaining.fetch_sub(missing, std::memory_order_acq_rel) ==
+            missing) {
+          const std::scoped_lock lock(ctx.mutex);
+          ctx.all_done = true;
+        }
         break;
       }
     }
   }
 
   {
-    std::unique_lock lock(pending->mutex);
-    pending->done.wait(lock, [&] {
-      return pending->remaining.load(std::memory_order_acquire) == 0;
-    });
+    std::unique_lock lock(ctx.mutex);
+    ctx.done.wait(lock, [&ctx] { return ctx.all_done; });
   }
   metrics_.runs->inc();
 
   if (submit_error != nullptr) std::rethrow_exception(submit_error);
-  if (pending->failed.load(std::memory_order_acquire)) {
-    // Move the exception out of Pending so its last reference is
-    // released on this thread — a worker may drop the final Pending
-    // ref concurrently, and the caller is still reading the rethrown
-    // exception (e.g. its what() string) at that point.
-    std::exception_ptr error;
-    {
-      const std::scoped_lock lock(pending->mutex);
-      error = std::move(pending->error);
-    }
-    std::rethrow_exception(error);
+  if (ctx.failed.load(std::memory_order_acquire)) {
+    // Safe without the mutex: all_done means every chunk retired, so no
+    // worker can still be writing ctx.error.
+    std::rethrow_exception(ctx.error);
   }
 
   std::vector<coverage::SimStats> out(job_n, coverage::SimStats(event_count));
   for (std::size_t w = 0; w < worker_n_; ++w) {
     for (std::size_t j = 0; j < job_n; ++j) {
-      const coverage::SimStats& part = pending->partial[w * job_n + j];
+      const coverage::SimStats& part = ctx.partial[w * job_n + j];
       if (part.sims() != 0) out[j].merge(part);
     }
   }

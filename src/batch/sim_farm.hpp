@@ -1,20 +1,29 @@
-// The batch simulation environment (paper Fig. 2: "Batch env"), v2.
+// The batch simulation environment (paper Fig. 2: "Batch env"), v3.
 //
 // The CDG-Runner "sends the templates to the batch environment for
 // simulation [and] collects the coverage data". SimFarm is that
 // environment: a persistent worker pool that simulates N test-instances
 // of a template and accumulates the per-event hit counts.
 //
-// v2 scheduling: each worker owns a deque of chunk tasks; submission
-// round-robins across the deques and an idle worker steals from its
-// peers before sleeping, so one slow chunk never serializes the pool
-// behind a global queue lock. Hit counts accumulate into per-(worker,
-// job) partials that the caller merges once at join time — the hot
-// simulate() loop takes no lock at all.
+// v3 scheduling: a chunk is a contiguous seed range [begin, end) of one
+// job, described by a POD ChunkRef on a grow-only ring buffer — no
+// per-chunk std::function, no per-chunk heap allocation once the rings
+// have grown to a run's high-water mark. A worker hands its whole chunk
+// to Duv::simulate_batch as one batch-of-seeds kernel call over
+// per-worker arena storage (seeds + coverage vectors, reused across
+// chunks); the per-template distribution tables are compiled once per
+// job (Duv::compile) and shared read-only by every chunk of that job.
+// Submission round-robins across the per-worker deques and an idle
+// worker steals from its peers before sleeping, so one slow chunk never
+// serializes the pool behind a global queue lock. Hit counts accumulate
+// into per-(worker, job) partials that the caller merges once at join
+// time — the hot simulation loop takes no lock at all.
 //
 // Determinism: the seed of instance i of a run is a pure function of
-// (seed_root, i) via a SeedStream, and hit-count accumulation is
-// commutative, so results are bit-identical for any worker count and
+// (seed_root, i) via a SeedStream, each batch lane advances its own
+// seed's RNG stream (simulate_batch lane i is bit-identical to scalar
+// simulate(seeds[i])), and hit-count accumulation is commutative, so
+// results are bit-identical for any worker count, any batch width, and
 // any steal schedule.
 //
 // Failure semantics: if a simulation (or stats accumulation) throws,
@@ -30,8 +39,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -116,8 +123,10 @@ class SimFarm {
   };
 
   /// Runs all jobs (interleaved across the pool); results are returned
-  /// in job order. Rethrows the first exception any simulation raised,
-  /// after every chunk of this call has retired.
+  /// in job order. Each job's template is compiled once (Duv::compile)
+  /// before scheduling and the tables are shared by all of its chunks.
+  /// Rethrows the first exception any simulation raised, after every
+  /// chunk of this call has retired.
   [[nodiscard]] std::vector<coverage::SimStats> run_all(
       const duv::Duv& duv, std::span<const Job> jobs);
 
@@ -141,20 +150,56 @@ class SimFarm {
   [[nodiscard]] double worker_busy_fraction() const noexcept;
 
  private:
-  using Task = std::function<void()>;
+  /// Shared state of one run_all() call; lives on the caller's stack
+  /// for the duration of the call (sim_farm.cpp).
+  struct RunContext;
+
+  /// One batch chunk: instances [begin, end) of job `job` in run `ctx`.
+  /// POD — queued by value, so scheduling allocates nothing per chunk.
+  struct ChunkRef {
+    RunContext* ctx = nullptr;
+    std::size_t job = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// Grow-only power-of-two ring buffer of chunk descriptors. Replaces
+  /// the v2 std::deque<std::function>: capacity is retained across
+  /// runs, so the steady state pushes and pops without touching the
+  /// heap. Callers must not pop from an empty ring.
+  class ChunkRing {
+   public:
+    /// Grows capacity to at least `capacity` (rounded up to a power of
+    /// two); never shrinks.
+    void reserve(std::size_t capacity);
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    void push_back(const ChunkRef& chunk);
+    ChunkRef pop_back() noexcept;
+    ChunkRef pop_front() noexcept;
+
+   private:
+    void grow(std::size_t capacity);
+
+    std::vector<ChunkRef> buf_;  ///< size is the capacity (power of two)
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
 
   /// One worker's deque. Padded to its own cache line so per-worker
   /// push/pop never false-shares with a neighbor.
   struct alignas(64) WorkerQueue {
     std::mutex mutex;
-    std::deque<Task> tasks;
+    ChunkRing tasks;
   };
 
   void worker_loop(std::size_t index);
-  void enqueue(Task task);
+  void enqueue(const ChunkRef& chunk);
   /// Pops from `index`'s own deque, else steals from a peer (scanning
   /// from index+1). Returns false when every deque is empty.
-  bool take_task(std::size_t index, Task& task);
+  bool take_task(std::size_t index, ChunkRef& chunk);
+  /// Runs one chunk (seed fill, simulate_batch, partial accumulation)
+  /// and retires it against its run's countdown.
+  void execute_chunk(const ChunkRef& chunk);
 
   /// Fixed before any worker starts (workers_ itself is still being
   /// populated while early workers run, so they must not size() it).

@@ -1,5 +1,7 @@
 #include "coverage/repository.hpp"
 
+#include <bit>
+
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -37,9 +39,16 @@ void SimStats::record(const CoverageVector& vec) {
   if (hits_.empty()) hits_.assign(vec.size(), 0);
   ASCDG_ASSERT(vec.size() == hits_.size(), "coverage vector size mismatch");
   ++sims_;
-  for (std::size_t i = 0; i < hits_.size(); ++i) {
-    const EventId id{static_cast<std::uint32_t>(i)};
-    if (vec.was_hit(id)) ++hits_[i];
+  // Word-at-a-time: only set bits cost anything, so sparse vectors (the
+  // common case — a simulation hits a fraction of the space) fold in
+  // far fewer than event_count() steps.
+  for (std::size_t w = 0; w < vec.word_count(); ++w) {
+    std::uint64_t bits = vec.word(w);
+    while (bits != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(bits));
+      ++hits_[w * 64 + bit];
+      bits &= bits - 1;
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 // whether each coverage event was hit in this simulation" (paper §III).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -18,6 +19,23 @@ class CoverageVector {
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
+  /// Re-shapes to `event_count` events with every bit clear, reusing
+  /// the existing word storage when capacity allows. The batch farm's
+  /// per-worker scratch vectors cycle through this instead of
+  /// reallocating per simulation.
+  void reset(std::size_t event_count) {
+    bits_.assign((event_count + 63) / 64, 0);
+    size_ = event_count;
+  }
+
+  /// Backing words (64 events per word, little-endian within the word).
+  /// Word-level consumers (SimStats::record, merge benches) iterate
+  /// these instead of testing events bit by bit.
+  [[nodiscard]] std::size_t word_count() const noexcept { return bits_.size(); }
+  [[nodiscard]] std::uint64_t word(std::size_t index) const noexcept {
+    return bits_[index];
+  }
+
   void hit(EventId id) noexcept {
     if (id.value >= size_) return;
     bits_[id.value / 64] |= (std::uint64_t{1} << (id.value % 64));
@@ -32,7 +50,7 @@ class CoverageVector {
   [[nodiscard]] std::size_t popcount() const noexcept {
     std::size_t total = 0;
     for (const std::uint64_t word : bits_) {
-      total += static_cast<std::size_t>(__builtin_popcountll(word));
+      total += static_cast<std::size_t>(std::popcount(word));
     }
     return total;
   }

@@ -12,9 +12,21 @@
 //     coverage vector;
 //   * thread-safe   — no mutable shared state; all simulation state is
 //     local to the call (the batch farm calls it concurrently).
+//
+// simulate_batch() is the farm's hot entry point: it advances a whole
+// span of seeds through one call, letting a unit keep per-seed state in
+// structure-of-arrays form and reuse its compiled distribution tables
+// across lanes. The default implementation is a scalar loop over
+// simulate(), so an external RTL wrapper implements only the scalar
+// method and still works everywhere (see docs/porting.md). Whatever the
+// implementation, lane i of a batch must be bit-identical to
+// simulate(tmpl, seeds[i]) — batching is an execution detail, never an
+// observable one.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -46,6 +58,47 @@ class Duv {
   /// it, returning the coverage vector.
   [[nodiscard]] virtual coverage::CoverageVector simulate(
       const tgen::TestTemplate& tmpl, std::uint64_t seed) const = 0;
+
+  /// Opaque per-template precomputation (resolved parameter tables,
+  /// precompiled distributions, ...). The batch farm compiles each job's
+  /// template once and passes the result to every simulate_batch() call
+  /// of that job.
+  class Compiled {
+   public:
+    virtual ~Compiled() = default;
+    Compiled(const Compiled&) = delete;
+    Compiled& operator=(const Compiled&) = delete;
+
+   protected:
+    Compiled() = default;
+  };
+
+  /// Precompiles `tmpl` for simulate_batch(). The default returns
+  /// nullptr — "no precomputation" — which every simulate_batch()
+  /// implementation must accept. The result is immutable and safe to
+  /// share across threads; it borrows `tmpl`, which must outlive it.
+  [[nodiscard]] virtual std::unique_ptr<Compiled> compile(
+      const tgen::TestTemplate& tmpl) const {
+    (void)tmpl;
+    return nullptr;
+  }
+
+  /// Simulates seeds[i] into out[i] for the whole span (sizes must
+  /// match; each out[i] is overwritten, whatever it held). `compiled`
+  /// is either nullptr or this unit's compile() result for `tmpl`.
+  /// Contract: out[i] must equal simulate(tmpl, seeds[i]) bit for bit,
+  /// at any batch width. The default is exactly that scalar loop, so a
+  /// wrapper around a real RTL simulator opts out of batching by simply
+  /// not overriding this.
+  virtual void simulate_batch(const tgen::TestTemplate& tmpl,
+                              const Compiled* compiled,
+                              std::span<const std::uint64_t> seeds,
+                              std::span<coverage::CoverageVector> out) const {
+    (void)compiled;
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      out[i] = simulate(tmpl, seeds[i]);
+    }
+  }
 
   /// The unit's existing regression suite: the test-templates "developed
   /// by the verification team" (paper §IV-B) that the coarse-grained

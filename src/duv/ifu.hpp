@@ -39,6 +39,11 @@ class Ifu final : public Duv {
   }
   [[nodiscard]] coverage::CoverageVector simulate(
       const tgen::TestTemplate& tmpl, std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<Compiled> compile(
+      const tgen::TestTemplate& tmpl) const override;
+  void simulate_batch(const tgen::TestTemplate& tmpl, const Compiled* compiled,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<coverage::CoverageVector> out) const override;
   [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override;
 
   /// The 256-event cross product block.
@@ -52,6 +57,15 @@ class Ifu final : public Duv {
   static constexpr std::size_t kSectors = 4;
 
  private:
+  /// Compiled distribution tables + precomputed entry codes (ifu.cpp).
+  struct Tables;
+  [[nodiscard]] std::unique_ptr<Tables> make_tables(
+      const tgen::TestTemplate& tmpl) const;
+  /// The one simulation kernel: lane i advances seeds[i] into out[i].
+  /// simulate() is this at width 1; simulate_batch() at width N.
+  void run_lanes(const Tables& tables, std::span<const std::uint64_t> seeds,
+                 std::span<coverage::CoverageVector> out) const;
+
   coverage::CoverageSpace space_;
   tgen::TestTemplate defaults_;
   const coverage::CrossProduct* cross_ = nullptr;

@@ -46,6 +46,11 @@ class IoUnit final : public Duv {
   }
   [[nodiscard]] coverage::CoverageVector simulate(
       const tgen::TestTemplate& tmpl, std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<Compiled> compile(
+      const tgen::TestTemplate& tmpl) const override;
+  void simulate_batch(const tgen::TestTemplate& tmpl, const Compiled* compiled,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<coverage::CoverageVector> out) const override;
   [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override;
 
   /// The crc_* family (ordered easy -> hard).
@@ -60,6 +65,14 @@ class IoUnit final : public Duv {
   static constexpr int kCrcThresholds[6] = {4, 8, 16, 32, 64, 96};
 
  private:
+  /// Compiled distribution tables + precomputed entry codes (io_unit.cpp).
+  struct Tables;
+  [[nodiscard]] std::unique_ptr<Tables> make_tables(
+      const tgen::TestTemplate& tmpl) const;
+  /// The one simulation kernel: lane i advances seeds[i] into out[i].
+  void run_lanes(const Tables& tables, std::span<const std::uint64_t> seeds,
+                 std::span<coverage::CoverageVector> out) const;
+
   coverage::CoverageSpace space_;
   tgen::TestTemplate defaults_;
   std::vector<coverage::EventId> crc_events_;

@@ -41,6 +41,11 @@ class L3Cache final : public Duv {
   }
   [[nodiscard]] coverage::CoverageVector simulate(
       const tgen::TestTemplate& tmpl, std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<Compiled> compile(
+      const tgen::TestTemplate& tmpl) const override;
+  void simulate_batch(const tgen::TestTemplate& tmpl, const Compiled* compiled,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<coverage::CoverageVector> out) const override;
   [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override;
 
   /// The byp_reqs01..16 family (ordered easy -> hard).
@@ -53,6 +58,14 @@ class L3Cache final : public Duv {
   static constexpr std::size_t kWriteQueueDepth = 8;
 
  private:
+  /// Compiled distribution tables + precomputed entry codes (l3_cache.cpp).
+  struct Tables;
+  [[nodiscard]] std::unique_ptr<Tables> make_tables(
+      const tgen::TestTemplate& tmpl) const;
+  /// The one simulation kernel: lane i advances seeds[i] into out[i].
+  void run_lanes(const Tables& tables, std::span<const std::uint64_t> seeds,
+                 std::span<coverage::CoverageVector> out) const;
+
   coverage::CoverageSpace space_;
   tgen::TestTemplate defaults_;
   std::vector<coverage::EventId> byp_events_;

@@ -36,6 +36,11 @@ class Lsu final : public Duv {
   }
   [[nodiscard]] coverage::CoverageVector simulate(
       const tgen::TestTemplate& tmpl, std::uint64_t seed) const override;
+  [[nodiscard]] std::unique_ptr<Compiled> compile(
+      const tgen::TestTemplate& tmpl) const override;
+  void simulate_batch(const tgen::TestTemplate& tmpl, const Compiled* compiled,
+                      std::span<const std::uint64_t> seeds,
+                      std::span<coverage::CoverageVector> out) const override;
   [[nodiscard]] std::vector<tgen::TestTemplate> suite() const override;
 
   /// The lsu_fwdq_01..12 family (ordered easy -> hard).
@@ -47,6 +52,14 @@ class Lsu final : public Duv {
   static constexpr std::int64_t kLineCount = 256;  ///< distinct cache lines
 
  private:
+  /// Compiled distribution tables + precomputed entry codes (lsu.cpp).
+  struct Tables;
+  [[nodiscard]] std::unique_ptr<Tables> make_tables(
+      const tgen::TestTemplate& tmpl) const;
+  /// The one simulation kernel: lane i advances seeds[i] into out[i].
+  void run_lanes(const Tables& tables, std::span<const std::uint64_t> seeds,
+                 std::span<coverage::CoverageVector> out) const;
+
   coverage::CoverageSpace space_;
   tgen::TestTemplate defaults_;
   std::vector<coverage::EventId> fwdq_events_;

@@ -384,6 +384,39 @@ void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot) {
   }
 }
 
+namespace {
+
+/// Sums the batched-kernel farm counters across every `farm="<id>"`
+/// series: simulations retired, and the busy-worker nanoseconds that
+/// retired them. Both stay zero when no SimFarm ran under this registry.
+struct FarmTotals {
+  std::uint64_t sims = 0;
+  std::uint64_t busy_ns = 0;
+
+  /// Simulations per second of busy worker time — the wall-clock cost
+  /// of the simulate_batch hot path, independent of how long the main
+  /// thread sat blocked in run_all.
+  [[nodiscard]] double sims_per_sec() const noexcept {
+    return busy_ns == 0 ? 0.0
+                        : static_cast<double>(sims) * 1e9 /
+                              static_cast<double>(busy_ns);
+  }
+};
+
+FarmTotals farm_totals(const obs::MetricsSnapshot& snapshot) {
+  FarmTotals totals;
+  for (const auto& sample : snapshot.samples) {
+    if (sample.name == "ascdg_farm_simulations_total") {
+      totals.sims += sample.counter;
+    } else if (sample.name == "ascdg_farm_busy_ns_total") {
+      totals.busy_ns += sample.counter;
+    }
+  }
+  return totals;
+}
+
+}  // namespace
+
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
                         const cdg::FlowResult& flow,
                         const obs::MetricsSnapshot* snapshot) {
@@ -397,6 +430,14 @@ void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
   // simulation chunk latency and an eval batch looked like, not just
   // their totals. Omitted when the series never registered.
   if (snapshot != nullptr) {
+    // The throughput headline: how fast the batched simulate_batch
+    // kernels actually ran, measured in busy-worker time so the number
+    // survives a blocked main thread and compares across worker counts.
+    if (const FarmTotals farm = farm_totals(*snapshot); farm.sims != 0) {
+      os << "\nSimulation throughput: " << util::format_count(farm.sims)
+         << " farm sims at " << util::format_number(farm.sims_per_sec(), 3)
+         << " sims/sec of busy worker time.\n";
+    }
     const auto quantile_line = [&os, snapshot](const char* name,
                                                const char* caption,
                                                const char* unit) {
@@ -553,10 +594,17 @@ void write_metrics_json(const std::filesystem::path& path,
       .add("major_faults", health_gauge("ascdg_proc_major_faults"))
       .add("watchdog_stalls", watchdog_stalls);
 
+  // The throughput headline rides along pre-digested so that
+  // `ascdg inspect --compare` (and any trend dashboard) can show the
+  // batched-kernel speedup without re-summing the registry series.
+  const FarmTotals farm = farm_totals(snapshot);
+
   util::JsonObject document;
   document.add("schema", "ascdg-run-metrics-v1")
       .add("seed_template", flow.seed_template)
       .add("flow_sims", flow.flow_sims())
+      .add("farm_sims", farm.sims)
+      .add("sims_per_sec", farm.sims_per_sec())
       .add("eval_cache_hits", flow.eval_cache_hits)
       .add("eval_cache_misses", flow.eval_cache_misses)
       .add_raw("run_health", run_health.str())

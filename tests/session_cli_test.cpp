@@ -192,6 +192,13 @@ TEST(SessionCli, InspectRendersTheSessionAndSelfCompareIsZeroDelta) {
       << compared.output;
   EXPECT_NE(compared.output.find("\"delta_total_sims\":0"), std::string::npos)
       << compared.output;
+  // Throughput compares as a ratio: a session against itself is 1x.
+  EXPECT_NE(compared.output.find("\"delta_sims_per_sec\":0"),
+            std::string::npos)
+      << compared.output;
+  EXPECT_NE(compared.output.find("\"sims_per_sec_speedup\":1"),
+            std::string::npos)
+      << compared.output;
 }
 
 TEST(SessionCli, InspectRejectsADirectoryWithoutArtifacts) {

@@ -840,6 +840,15 @@ struct InspectData {
                                : static_cast<double>(total_sims) /
                                      static_cast<double>(covered_events);
   }
+
+  /// The throughput headline: flow simulations per second of summed
+  /// stage wall time (0 when no stage recorded any wall time). This is
+  /// the number `--compare` turns into a speedup, so the batched-kernel
+  /// win between two sessions is visible from the artifacts alone.
+  [[nodiscard]] double sims_per_sec() const noexcept {
+    return wall_ms <= 0.0 ? 0.0
+                          : static_cast<double>(total_sims) * 1000.0 / wall_ms;
+  }
 };
 
 void merge_hits(std::vector<unsigned char>& hit_flags,
@@ -1030,7 +1039,8 @@ void render_inspection(std::ostream& os, const InspectData& data) {
      << "  sims per covered event: "
      << util::format_number(data.sims_per_covered_event(), 3)
      << "\nwall time (stages): " << util::format_number(data.wall_ms, 4)
-     << " ms\n";
+     << " ms  throughput: " << util::format_number(data.sims_per_sec(), 3)
+     << " sims/sec\n";
 
   if (data.has_telemetry) {
     os << "\ntelemetry (" << flow::kTelemetryFile
@@ -1067,6 +1077,7 @@ std::string inspection_json(const InspectData& data) {
       .add("total_sims", data.total_sims)
       .add("covered_events", data.covered_events)
       .add("sims_per_covered_event", data.sims_per_covered_event())
+      .add("sims_per_sec", data.sims_per_sec())
       .add("wall_ms", data.wall_ms);
   std::string curve = "[";
   for (std::size_t i = 0; i < data.convergence.size(); ++i) {
@@ -1137,6 +1148,10 @@ int cmd_inspect(Args& args) {
   const InspectData b = inspect_dir(*compare_dir);
   const double delta_spce =
       b.sims_per_covered_event() - a.sims_per_covered_event();
+  // B over A; 0 when A recorded no throughput (nothing to compare to).
+  const double speedup = a.sims_per_sec() > 0.0
+                             ? b.sims_per_sec() / a.sims_per_sec()
+                             : 0.0;
   if (as_json) {
     std::cout << util::JsonObject{}
                      .add("schema", "ascdg-inspect-v1")
@@ -1150,6 +1165,9 @@ int cmd_inspect(Args& args) {
                           static_cast<std::int64_t>(b.total_sims) -
                               static_cast<std::int64_t>(a.total_sims))
                      .add("delta_wall_ms", b.wall_ms - a.wall_ms)
+                     .add("delta_sims_per_sec",
+                          b.sims_per_sec() - a.sims_per_sec())
+                     .add("sims_per_sec_speedup", speedup)
                      .add("delta_peak_rss_bytes",
                           static_cast<std::int64_t>(b.telemetry_peak_rss) -
                               static_cast<std::int64_t>(a.telemetry_peak_rss))
@@ -1177,6 +1195,12 @@ int cmd_inspect(Args& args) {
   delta.add_row({"wall ms", util::format_number(a.wall_ms, 4),
                  util::format_number(b.wall_ms, 4),
                  util::format_number(b.wall_ms - a.wall_ms, 4)});
+  delta.add_row(
+      {"sims/sec", util::format_number(a.sims_per_sec(), 3),
+       util::format_number(b.sims_per_sec(), 3),
+       speedup > 0.0 ? util::format_number(speedup, 2) + "x"
+                     : util::format_number(
+                           b.sims_per_sec() - a.sims_per_sec(), 3)});
   delta.add_row(
       {"peak RSS bytes", std::to_string(a.telemetry_peak_rss),
        std::to_string(b.telemetry_peak_rss),

@@ -5,16 +5,22 @@ CI runs several bench binaries and archives each raw JSON; this script
 reduces them to the handful of headline numbers a human (or a trend
 dashboard) actually tracks per commit:
 
-  * simulation throughput (sims/sec) at 1 worker and at 8 workers, from
-    the BM_FarmRun scaling sweep;
-  * the farm's full worker-scaling curve;
+  * batched simulation throughput (wall-clock sims/sec) at 1 worker and
+    at 8 workers, from BM_FarmRunAllBatched — the batch-of-seeds kernel
+    path, the repo's primary throughput headline;
+  * the batched-vs-scalar-dispatch speedup (BM_FarmRunAllBatched over
+    BM_FarmRunAllScalar at 8 workers);
+  * cpu-time sims/sec at 1 and 8 workers from the BM_FarmRun scaling
+    sweep, plus the farm's full worker-scaling curve;
   * the --timeline sampling cost (BM_TimeSeriesSample);
   * per-benchmark medians (real time + items/sec) across every input
     file, so repeated or re-run benches aggregate instead of clobbering.
 
 Stdlib only — CI must not need a pip install. Exits non-zero when a
 required headline benchmark is missing from the inputs, so a silently
-renamed bench fails the pipeline instead of producing a hollow summary.
+renamed bench fails the pipeline instead of producing a hollow summary —
+and when the batched farm path is slower than the scalar-dispatch
+baseline, so a regression that undoes the batching win fails the build.
 
 Usage: bench_summary.py -o BENCH_summary.json BENCH_a.json [BENCH_b.json ...]
 """
@@ -27,10 +33,15 @@ import sys
 
 SCHEMA = "ascdg-bench-summary-v1"
 
-# Headline benches the summary cannot do without.
+# Headline benches the summary cannot do without. The batched farm pair
+# carries google-benchmark's /real_time suffix (UseRealTime): wall-clock
+# sims/sec is the headline, not summed-CPU-time throughput.
 REQUIRED = [
     "BM_FarmRun/1",
     "BM_FarmRun/8",
+    "BM_FarmRunAllBatched/1/real_time",
+    "BM_FarmRunAllBatched/8/real_time",
+    "BM_FarmRunAllScalar/8/real_time",
     "BM_TimeSeriesSample",
 ]
 
@@ -96,11 +107,38 @@ def main(argv):
         if match:
             farm_scaling[match.group(1)] = median_of(entries, "items_per_second")
 
+    def batched(workers):
+        return median_of(
+            by_name["BM_FarmRunAllBatched/%d/real_time" % workers],
+            "items_per_second",
+        )
+
+    def scalar(workers):
+        return median_of(
+            by_name["BM_FarmRunAllScalar/%d/real_time" % workers],
+            "items_per_second",
+        )
+
+    batched_8w = batched(8)
+    scalar_8w = scalar(8)
+    batched_speedup = (
+        batched_8w / scalar_8w if batched_8w and scalar_8w else None
+    )
+
     summary = {
         "schema": SCHEMA,
         "inputs": args.inputs,
-        # The headline: how many simulations per second the farm
-        # sustains serially and at the paper's 8-worker configuration.
+        # The headline: wall-clock simulations per second through the
+        # batched (simulate_batch) farm path, serially and at the
+        # paper's 8-worker configuration.
+        "batched_sims_per_sec_1_worker": batched(1),
+        "batched_sims_per_sec_8_workers": batched_8w,
+        # Scalar-dispatch baseline (one simulate() per instance, no
+        # shared compiled tables) and the batched-over-scalar ratio.
+        "scalar_sims_per_sec_8_workers": scalar_8w,
+        "batched_speedup_8_workers": batched_speedup,
+        # Legacy cpu-time headlines from the BM_FarmRun sweep (kept for
+        # trend continuity with pre-batching summaries).
         "sims_per_sec_1_worker": farm_scaling.get("1"),
         "sims_per_sec_8_workers": farm_scaling.get("8"),
         "farm_sims_per_sec_by_workers": farm_scaling,
@@ -110,16 +148,27 @@ def main(argv):
         "medians": medians,
     }
 
+    if batched_speedup is not None and batched_speedup < 1.0:
+        print(
+            "bench_summary: batched farm path regressed below the scalar "
+            "baseline (%.0f vs %.0f sims/s at 8 workers, speedup %.2fx)"
+            % (batched_8w, scalar_8w, batched_speedup),
+            file=sys.stderr,
+        )
+        return 1
+
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=False)
         handle.write("\n")
     print(
-        "bench_summary: %d benchmarks -> %s (1w %.0f sims/s, 8w %.0f sims/s)"
+        "bench_summary: %d benchmarks -> %s "
+        "(batched 1w %.0f sims/s, 8w %.0f sims/s, %.2fx over scalar)"
         % (
             len(medians),
             args.output,
-            summary["sims_per_sec_1_worker"] or 0.0,
-            summary["sims_per_sec_8_workers"] or 0.0,
+            summary["batched_sims_per_sec_1_worker"] or 0.0,
+            summary["batched_sims_per_sec_8_workers"] or 0.0,
+            batched_speedup or 0.0,
         )
     )
     return 0
