@@ -15,6 +15,7 @@
 // Pass a scale factor for a quick run: ./bench_ablation_sampling 0.25
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "cdg/cdg_objective.hpp"
 #include "cdg/random_sample.hpp"
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
       "the design rationale of paper §IV-D");
 
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   const auto probe = farm.run(l3, l3.defaults(), scaled(3000), 13);

@@ -17,6 +17,7 @@
 // Pass a scale factor for a quick run: ./bench_ablation_target 0.25
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "duv/l3_cache.hpp"
 
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
       "the design rationale of paper §IV-A");
 
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   // The SS-IV-A scenario is a target with a complete lack of evidence:
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
   for (const auto* variant : {"approximated", "raw"}) {
     const auto& target = std::string_view(variant) == "raw" ? raw : approx;
     for (const std::uint64_t seed : kSeeds) {
-      cdg::FlowConfig config;
+      flow::FlowConfig config;
       config.sample_templates = scaled(120);
       config.sample_sims = scaled(80);
       config.opt_directions = 10;
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
       config.opt_max_iterations = 20;
       config.harvest_sims = scaled(8000);
       config.seed = seed;
-      cdg::CdgRunner runner(l3, farm, config);
+      flow::CdgRunner runner(l3, farm, config);
       const auto result = runner.run_from_template(target, *seed_tmpl);
       std::size_t hit_targets = 0;
       for (const auto event : approx.targets()) {

@@ -11,6 +11,7 @@
 // Pass a scale factor for a quick run: ./bench_baseline_dfo 0.25
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "cdg/cdg_objective.hpp"
 #include "cdg/skeletonizer.hpp"
@@ -153,7 +154,7 @@ int main(int argc, char** argv) {
             << scaled(60) << " sims per evaluation, budget "
             << scaled(120) << " evaluations)\n";
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   const auto probe = farm.run(l3, l3.defaults(), scaled(2000), 31);
   const auto target = neighbors::family_target(l3.space(), "byp_reqs", probe);
   const auto suite = l3.suite();

@@ -7,8 +7,8 @@
 #include <iostream>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/backend.hpp"
+#include "flow/runner.hpp"
 #include "coverage/repository.hpp"
 #include "duv/duv.hpp"
 #include "neighbors/neighbors.hpp"
@@ -23,11 +23,11 @@ namespace ascdg::bench {
 /// the per-template repository — the paper's "mainstream unit
 /// simulation for several weeks" baseline, compressed.
 inline coverage::CoverageRepository build_before_repo(
-    const duv::Duv& duv, batch::SimFarm& farm, std::size_t sims_per_template,
+    const duv::Duv& duv, exec::Backend& farm, std::size_t sims_per_template,
     std::uint64_t seed = 0xBEF0) {
   coverage::CoverageRepository repo(duv.space().size());
   const auto suite = duv.suite();
-  std::vector<batch::SimFarm::Job> jobs;
+  std::vector<exec::Job> jobs;
   jobs.reserve(suite.size());
   for (std::size_t j = 0; j < suite.size(); ++j) {
     jobs.push_back({&suite[j], sims_per_template, seed + j});

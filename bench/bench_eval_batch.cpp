@@ -12,7 +12,7 @@
 #include <thread>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/thread_farm.hpp"
 #include "cdg/cdg_objective.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "duv/io_unit.hpp"
@@ -86,7 +86,7 @@ const Problem& problem() {
 void BM_EvalBatchDispatch(benchmark::State& state) {
   const auto& p = problem();
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
-  batch::SimFarm farm(static_cast<std::size_t>(state.range(1)));
+  exec::ThreadFarm farm(static_cast<std::size_t>(state.range(1)));
   cdg::CdgObjective objective(
       p.io, farm, p.skeleton, p.target, kSimsPerPoint,
       cdg::EvalCacheConfig{.enabled = false, .capacity = 0});
@@ -126,7 +126,7 @@ void run_implicit_filtering(opt::Objective& objective, std::size_t dim) {
 // Batched vs Scalar at workers=8.
 void BM_ImplicitFilteringScalarDispatch(benchmark::State& state) {
   const auto& p = problem();
-  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  exec::ThreadFarm farm(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     cdg::CdgObjective inner(p.io, farm, p.skeleton, p.target, kSimsPerPoint);
     opt::ScalarizedObjective scalar(inner);
@@ -144,7 +144,7 @@ BENCHMARK(BM_ImplicitFilteringScalarDispatch)
 
 void BM_ImplicitFilteringBatchedDispatch(benchmark::State& state) {
   const auto& p = problem();
-  batch::SimFarm farm(static_cast<std::size_t>(state.range(0)));
+  exec::ThreadFarm farm(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     cdg::CdgObjective objective(p.io, farm, p.skeleton, p.target,
                                 kSimsPerPoint);

@@ -20,6 +20,7 @@
 // run: ./bench_fig3_io_unit 0.1
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "duv/io_unit.hpp"
 
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
                       "Fig. 3 of the paper");
 
   const duv::IoUnit io;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   // Before CDG: 669,000 sims across the regression suite.
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
   std::cout << "Uncovered crc events before CDG: " << target.targets().size()
             << '\n';
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = scaled(200);
   config.sample_sims = scaled(100);
   config.opt_directions = 19;  // + center resample = 20 tests/iteration
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
   config.harvest_sims = scaled(10000);
   config.seed = 3;
 
-  cdg::CdgRunner runner(io, farm, config);
+  flow::CdgRunner runner(io, farm, config);
   const auto suite = io.suite();
   const auto result = runner.run(target, repo, suite);
 

@@ -14,6 +14,7 @@
 // Pass a scale factor for a quick run: ./bench_fig4_l3 0.1
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "duv/l3_cache.hpp"
 
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
                       "Fig. 4 of the paper");
 
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   // Before CDG: ~1,000,000 sims across the 9-template regression suite.
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
   std::cout << "Uncovered byp_reqs events before CDG: "
             << target.targets().size() << '\n';
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = scaled(210);
   config.sample_sims = scaled(100);
   config.opt_directions = 11;  // + center resample = 12 tests/iteration
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   config.harvest_sims = scaled(15000);
   config.seed = 4;
 
-  cdg::CdgRunner runner(l3, farm, config);
+  flow::CdgRunner runner(l3, farm, config);
   const auto suite = l3.suite();
   const auto result = runner.run(target, repo, suite);
 

@@ -11,6 +11,7 @@
 // Pass a scale factor for a quick run: ./bench_fig5_ifu 0.1
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "duv/ifu.hpp"
 
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
       "Fig. 5 of the paper");
 
   const duv::Ifu ifu;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   // ~40k regression sims: enough to cover what the suite can cover
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   std::cout << "Cross product events: " << family.size()
             << "; uncovered before CDG: " << target.targets().size() << '\n';
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = scaled(150);
   config.sample_sims = scaled(100);
   config.opt_directions = 14;  // + center resample = 15 tests/iteration
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   config.harvest_sims = scaled(10000);
   config.seed = 5;
 
-  cdg::CdgRunner runner(ifu, farm, config);
+  flow::CdgRunner runner(ifu, farm, config);
   const auto suite = ifu.suite();
   const auto result = runner.run(target, repo, suite);
 

@@ -9,6 +9,7 @@
 // Pass a scale factor for a quick run: ./bench_fig6_opt_progress 0.2
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
 #include "duv/l3_cache.hpp"
 
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
       "Fig. 6 of the paper");
 
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   // Target: the whole byp_reqs family, uncovered tail as real targets
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
   }
   if (seed_tmpl == nullptr) return 1;
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = scaled(210);
   config.sample_sims = scaled(100);
   config.opt_directions = 11;
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
   config.opt_min_step = 1e-5;
   config.harvest_sims = 0;  // this bench only studies the trace
   config.seed = 6;
-  cdg::CdgRunner runner(l3, farm, config);
+  flow::CdgRunner runner(l3, farm, config);
   const auto result = runner.run_from_template(target, *seed_tmpl);
 
   std::cout << "Max target value per optimization iteration:\n\n";

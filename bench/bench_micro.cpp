@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "batch/sim_farm.hpp"
+#include "exec/process_farm.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/repository.hpp"
 #include "flow/artifacts.hpp"
@@ -261,6 +262,28 @@ void BM_FarmRunAllBatched(benchmark::State& state) {
                           static_cast<std::int64_t>(kJobs * kSimsPerJob));
 }
 BENCHMARK(BM_FarmRunAllBatched)->Arg(1)->Arg(8)->UseRealTime();
+
+// The fork-based process backend on the identical workload: what the
+// pipe protocol + per-worker recompilation cost relative to the thread
+// farm above. Reported by tools/bench_summary.py as process sims/sec
+// (informational — no regression gate; the IPC overhead is the price
+// of crash isolation, see docs/backends.md).
+void BM_ProcessFarmRunAll(benchmark::State& state) {
+  const duv::IoUnit io;
+  const auto& tmpl = io.defaults();
+  exec::ProcessFarm farm(static_cast<std::size_t>(state.range(0)));
+  constexpr std::size_t kJobs = 32;
+  constexpr std::size_t kSimsPerJob = 64;
+  std::vector<exec::Job> jobs(kJobs, exec::Job{&tmpl, kSimsPerJob, 0});
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    for (auto& job : jobs) job.seed_root = seed++;
+    benchmark::DoNotOptimize(farm.run_all(io, jobs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kJobs * kSimsPerJob));
+}
+BENCHMARK(BM_ProcessFarmRunAll)->Arg(1)->Arg(8)->UseRealTime();
 
 /// IoUnit with compile()/simulate_batch() hidden behind the scalar
 /// fallback — exactly how an external RTL wrapper presents itself, and

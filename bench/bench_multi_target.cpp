@@ -17,8 +17,9 @@
 // Pass a scale factor for a quick run: ./bench_multi_target 0.25
 #include <cstdlib>
 
+#include "exec/thread_farm.hpp"
 #include "bench_common.hpp"
-#include "cdg/multi_target.hpp"
+#include "flow/campaign.hpp"
 #include "duv/io_unit.hpp"
 
 int main(int argc, char** argv) {
@@ -34,7 +35,7 @@ int main(int argc, char** argv) {
       "the future-work direction of paper §VI");
 
   const duv::IoUnit io;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   bench::Stopwatch watch;
 
   const auto family = io.crc_family();
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
   }
   const tgen::TestTemplate* seed = &merged_seed;
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = scaled(200);
   config.sample_sims = scaled(100);
   config.opt_directions = 12;
@@ -83,7 +84,7 @@ int main(int argc, char** argv) {
 
   // --- A: independent flows ---------------------------------------------
   const std::size_t sims_before_a = farm.total_simulations();
-  cdg::CdgRunner runner(io, farm, config);
+  flow::CdgRunner runner(io, farm, config);
   std::vector<double> independent_quality;
   for (const auto& target : targets) {
     const auto result = runner.run_from_template(target, *seed);
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
 
   // --- B: shared sampling --------------------------------------------------
   const std::size_t sims_before_b = farm.total_simulations();
-  const auto shared = cdg::run_multi_target(io, farm, config, targets, *seed);
+  const auto shared = flow::run_multi_target(io, farm, config, targets, *seed);
   const std::size_t shared_sims = farm.total_simulations() - sims_before_b;
 
   util::Table table({"Target", "independent: real value",

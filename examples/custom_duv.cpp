@@ -10,8 +10,8 @@
 #include <algorithm>
 #include <iostream>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "duv/duv.hpp"
 #include "neighbors/neighbors.hpp"
 #include "report/report.hpp"
@@ -132,7 +132,7 @@ class StoreQueueUnit final : public duv::Duv {
 
 int main() {
   const StoreQueueUnit stq;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
 
   coverage::CoverageRepository repo(stq.space().size());
   for (const auto& tmpl : stq.suite()) {
@@ -144,14 +144,14 @@ int main() {
   std::cout << "store-queue fill events uncovered before CDG: "
             << target.targets().size() << '\n';
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 80;
   config.sample_sims = 40;
   config.opt_directions = 8;
   config.opt_sims_per_point = 80;
   config.opt_max_iterations = 8;
   config.harvest_sims = 3000;
-  cdg::CdgRunner runner(stq, farm, config);
+  flow::CdgRunner runner(stq, farm, config);
   const auto result = runner.run(target, repo, stq.suite());
 
   const auto family = stq.space().family_events("stq_fill");

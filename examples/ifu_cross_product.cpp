@@ -6,8 +6,8 @@
 //   $ ./ifu_cross_product
 #include <iostream>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "coverage/holes.hpp"
 #include "duv/ifu.hpp"
 #include "neighbors/neighbors.hpp"
@@ -18,7 +18,7 @@ int main() {
   using namespace ascdg;
 
   const duv::Ifu ifu;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
 
   coverage::CoverageRepository repo(ifu.space().size());
   const auto suite = ifu.suite();
@@ -34,14 +34,14 @@ int main() {
             << family.size() << " events; " << target.targets().size()
             << " uncovered before CDG\n\n";
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 150;
   config.sample_sims = 60;
   config.opt_directions = 12;
   config.opt_sims_per_point = 120;
   config.opt_max_iterations = 12;
   config.harvest_sims = 8000;
-  cdg::CdgRunner runner(ifu, farm, config);
+  flow::CdgRunner runner(ifu, farm, config);
   const auto result = runner.run(target, repo, suite);
 
   const bool color = util::stdout_supports_color();

@@ -7,8 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "duv/l3_cache.hpp"
 #include "neighbors/neighbors.hpp"
 #include "report/report.hpp"
@@ -21,13 +21,13 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
 
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
 
   // Mainstream regression: every suite template, many sims each.
   coverage::CoverageRepository repo(l3.space().size());
   const auto suite = l3.suite();
   {
-    std::vector<batch::SimFarm::Job> jobs;
+    std::vector<exec::Job> jobs;
     for (std::size_t j = 0; j < suite.size(); ++j) {
       jobs.push_back({&suite[j], before_sims, 7000 + j});
     }
@@ -45,14 +45,14 @@ int main(int argc, char** argv) {
 
   // Paper Fig. 4 budgets (scaled by default; pass a larger before_sims
   // to approach the paper's 1M-sim baseline).
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 210;
   config.sample_sims = 100;
   config.opt_directions = 12;
   config.opt_sims_per_point = 100;
   config.opt_max_iterations = 25;
   config.harvest_sims = 15000;
-  cdg::CdgRunner runner(l3, farm, config);
+  flow::CdgRunner runner(l3, farm, config);
   const auto result = runner.run(target, repo, suite);
 
   const auto family = l3.byp_family();

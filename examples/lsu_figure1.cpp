@@ -6,8 +6,8 @@
 //   $ ./lsu_figure1
 #include <iostream>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "duv/lsu.hpp"
 #include "neighbors/neighbors.hpp"
 #include "report/report.hpp"
@@ -17,7 +17,7 @@ int main() {
   using namespace ascdg;
 
   const duv::Lsu lsu;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
 
   // The figure's template is part of the unit's regression suite.
   const auto suite = lsu.suite();
@@ -46,14 +46,14 @@ int main() {
   std::cout << "Uncovered forwarding-depth events: " << target.targets().size()
             << "\n\n";
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 150;
   config.sample_sims = 60;
   config.opt_directions = 12;
   config.opt_sims_per_point = 120;
   config.opt_max_iterations = 15;
   config.harvest_sims = 4000;
-  cdg::CdgRunner runner(lsu, farm, config);
+  flow::CdgRunner runner(lsu, farm, config);
   const auto result = runner.run(target, repo, suite);
 
   const auto family = lsu.fwdq_family();

@@ -10,8 +10,8 @@
 // hit rates per event, per flow phase.
 #include <iostream>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "duv/io_unit.hpp"
 #include "neighbors/neighbors.hpp"
 #include "report/report.hpp"
@@ -22,7 +22,7 @@ int main() {
 
   // 1. The design under verification and the batch simulation farm.
   const duv::IoUnit io;
-  batch::SimFarm farm;  // one worker per hardware thread
+  exec::ThreadFarm farm;  // one worker per hardware thread
 
   // 2. "Before CDG": simulate the unit's existing regression suite and
   //    record per-template coverage (this is what TAC mines).
@@ -43,14 +43,14 @@ int main() {
 
   // 4. Run the flow: coarse search -> skeletonize -> sample -> optimize
   //    -> harvest.
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 100;
   config.sample_sims = 50;
   config.opt_directions = 10;
   config.opt_sims_per_point = 100;
   config.opt_max_iterations = 6;
   config.harvest_sims = 2000;
-  cdg::CdgRunner runner(io, farm, config);
+  flow::CdgRunner runner(io, farm, config);
   const auto suite = io.suite();
   const auto result = runner.run(target, repo, suite);
 

@@ -115,21 +115,21 @@ SimFarm::SimFarm(std::size_t num_threads)
       std::to_string(next_farm_id.fetch_add(1, std::memory_order_relaxed));
   obs::Registry& reg = obs::registry();
   metrics_.simulations =
-      &reg.counter("ascdg_farm_simulations_total", {{"farm", id}});
-  metrics_.chunks = &reg.counter("ascdg_farm_chunks_total", {{"farm", id}});
-  metrics_.steals = &reg.counter("ascdg_farm_steals_total", {{"farm", id}});
+      &reg.counter("ascdg_farm_simulations_total", {{"backend", "thread"}, {"farm", id}});
+  metrics_.chunks = &reg.counter("ascdg_farm_chunks_total", {{"backend", "thread"}, {"farm", id}});
+  metrics_.steals = &reg.counter("ascdg_farm_steals_total", {{"backend", "thread"}, {"farm", id}});
   metrics_.enqueued =
-      &reg.counter("ascdg_farm_enqueued_total", {{"farm", id}});
+      &reg.counter("ascdg_farm_enqueued_total", {{"backend", "thread"}, {"farm", id}});
   metrics_.exceptions =
-      &reg.counter("ascdg_farm_exceptions_total", {{"farm", id}});
-  metrics_.runs = &reg.counter("ascdg_farm_runs_total", {{"farm", id}});
-  metrics_.busy_ns = &reg.counter("ascdg_farm_busy_ns_total", {{"farm", id}});
-  metrics_.queue_depth = &reg.gauge("ascdg_farm_queue_depth", {{"farm", id}});
-  metrics_.active_runs = &reg.gauge("ascdg_farm_active_runs", {{"farm", id}});
+      &reg.counter("ascdg_farm_exceptions_total", {{"backend", "thread"}, {"farm", id}});
+  metrics_.runs = &reg.counter("ascdg_farm_runs_total", {{"backend", "thread"}, {"farm", id}});
+  metrics_.busy_ns = &reg.counter("ascdg_farm_busy_ns_total", {{"backend", "thread"}, {"farm", id}});
+  metrics_.queue_depth = &reg.gauge("ascdg_farm_queue_depth", {{"backend", "thread"}, {"farm", id}});
+  metrics_.active_runs = &reg.gauge("ascdg_farm_active_runs", {{"backend", "thread"}, {"farm", id}});
   metrics_.busy_fraction_ppm =
-      &reg.gauge("ascdg_farm_worker_busy_fraction", {{"farm", id}});
+      &reg.gauge("ascdg_farm_worker_busy_fraction", {{"backend", "thread"}, {"farm", id}});
   metrics_.chunk_latency_us =
-      &reg.histogram("ascdg_farm_chunk_latency_us", {{"farm", id}});
+      &reg.histogram("ascdg_farm_chunk_latency_us", {{"backend", "thread"}, {"farm", id}});
   created_ns_ = util::monotonic_ns();
 
   queues_ = std::make_unique<WorkerQueue[]>(worker_n_);

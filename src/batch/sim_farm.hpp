@@ -54,9 +54,10 @@ namespace ascdg::batch {
 
 /// Point-in-time copy of one farm's run counters, safe to pass around.
 /// Backed by the process metrics registry: every series below also
-/// exists there as `ascdg_farm_*{farm="<id>"}` (see docs/observability.md
-/// for the naming scheme), so Prometheus/JSON exports see the same
-/// numbers this struct reports.
+/// exists there as `ascdg_farm_*{backend="thread",farm="<id>"}` (see
+/// docs/observability.md for the naming scheme; the process backend
+/// labels its series backend="process"), so Prometheus/JSON exports see
+/// the same numbers this struct reports.
 struct TelemetrySnapshot {
   /// Log2-of-microseconds histogram buckets: bucket i counts chunks
   /// whose wall time t satisfies 2^i us <= t < 2^(i+1) us (bucket 0

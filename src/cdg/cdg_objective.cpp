@@ -21,7 +21,7 @@ std::uint64_t next_objective_id() {
 
 }  // namespace
 
-CdgObjective::CdgObjective(const duv::Duv& duv, batch::SimFarm& farm,
+CdgObjective::CdgObjective(const duv::Duv& duv, exec::Backend& farm,
                            const tgen::Skeleton& skeleton,
                            const neighbors::ApproximatedTarget& target,
                            std::size_t sims_per_point, EvalCacheConfig cache,
@@ -140,7 +140,7 @@ std::vector<CdgObjective::PointEval> CdgObjective::evaluate_batch_full(
   std::vector<char> owns_job(n, 0);
   std::vector<tgen::TestTemplate> templates;
   templates.reserve(n);
-  std::vector<batch::SimFarm::Job> jobs;
+  std::vector<exec::Job> jobs;
   jobs.reserve(n);
   std::unordered_map<CacheKey, std::size_t, CacheKeyHash> batch_jobs;
   for (std::size_t i = 0; i < n; ++i) {

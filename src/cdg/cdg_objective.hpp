@@ -1,11 +1,12 @@
 // Adapter that exposes the CDG problem as an opt::Objective: a point in
 // [0,1]^d is a weight assignment for the skeleton's marks; evaluating it
-// instantiates a test-template, simulates it N times on the batch farm,
+// instantiates a test-template, simulates it N times on the execution
+// backend,
 // and returns the empirical approximated-target value T_N(t).
 //
 // Evaluation is batched: evaluate_batch() instantiates one template per
-// point up front and submits a single SimFarm::run_all covering every
-// point's sims_per_point simulations, so the farm's workers stay
+// point up front and submits a single Backend::run_all covering every
+// point's sims_per_point simulations, so the backend's workers stay
 // saturated across a whole optimizer stencil / population instead of a
 // single point. Per-point statistics are separated by job (seed_root =
 // the point's eval seed), preserving the per-(point, seed) determinism
@@ -28,7 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/backend.hpp"
 #include "neighbors/neighbors.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -53,7 +54,7 @@ class CdgObjective final : public opt::Objective {
   /// templates: "<skeleton>_o<id>_<probe_label><ordinal>", where <id>
   /// is unique per objective instance so concurrent objectives over the
   /// same skeleton never emit colliding template names.
-  CdgObjective(const duv::Duv& duv, batch::SimFarm& farm,
+  CdgObjective(const duv::Duv& duv, exec::Backend& farm,
                const tgen::Skeleton& skeleton,
                const neighbors::ApproximatedTarget& target,
                std::size_t sims_per_point, EvalCacheConfig cache = {},
@@ -142,7 +143,7 @@ class CdgObjective final : public opt::Objective {
   void cache_insert(CacheKey key, double value, const coverage::SimStats& stats);
 
   const duv::Duv* duv_;
-  batch::SimFarm* farm_;
+  exec::Backend* farm_;
   const tgen::Skeleton* skeleton_;
   const neighbors::ApproximatedTarget* target_;
   std::size_t sims_per_point_;

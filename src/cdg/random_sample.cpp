@@ -6,7 +6,7 @@
 
 namespace ascdg::cdg {
 
-RandomSampleResult random_sample(const duv::Duv& duv, batch::SimFarm& farm,
+RandomSampleResult random_sample(const duv::Duv& duv, exec::Backend& farm,
                                  const tgen::Skeleton& skeleton,
                                  const neighbors::ApproximatedTarget& target,
                                  const RandomSampleOptions& options) {

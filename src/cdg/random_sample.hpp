@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/backend.hpp"
 #include "neighbors/neighbors.hpp"
 #include "tgen/skeleton.hpp"
 
@@ -40,7 +40,7 @@ struct RandomSampleResult {
 /// Runs the random-sampling phase. Throws util::ConfigError for a zero
 /// template/sim budget or a skeleton without marks.
 [[nodiscard]] RandomSampleResult random_sample(
-    const duv::Duv& duv, batch::SimFarm& farm, const tgen::Skeleton& skeleton,
+    const duv::Duv& duv, exec::Backend& farm, const tgen::Skeleton& skeleton,
     const neighbors::ApproximatedTarget& target,
     const RandomSampleOptions& options);
 

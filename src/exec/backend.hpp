@@ -1,0 +1,109 @@
+// The execution-backend seam (ROADMAP item 1 groundwork).
+//
+// Every consumer of the batch environment — the batched objective, the
+// flow stages, the CLI — submits work as "simulate these jobs, give me
+// per-job SimStats" and never cares where the simulations run. Backend
+// is that contract: an implementation takes a batch of Jobs and returns
+// per-job hit-count partials, preserving two invariants the rest of the
+// system is built on:
+//
+//   * determinism — the seed of instance i of a job is the pure
+//     function SeedStream(seed_root).at(i), and hit-count accumulation
+//     is commutative, so results are bit-identical across backends,
+//     worker counts, and schedules;
+//   * failure containment — if any simulation (or worker) fails, the
+//     first error is raised to the caller after the batch has drained,
+//     and the backend stays usable for subsequent calls. Never a hang.
+//
+// Two implementations ship today: ThreadFarm (the in-process
+// batch::SimFarm behind the interface) and ProcessFarm (fork-based
+// worker processes, docs/backends.md). A socket-based multi-host
+// backend is one more implementation of this interface, not another
+// rewrite.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "batch/sim_farm.hpp"
+#include "coverage/repository.hpp"
+#include "duv/duv.hpp"
+#include "tgen/test_template.hpp"
+
+namespace ascdg::exec {
+
+/// A unit of backend work: one template simulated `count` times with
+/// instance seeds derived from `seed_root`. Same type as
+/// batch::SimFarm::Job — the farm's submission granularity is the
+/// backend contract's, too.
+using Job = batch::SimFarm::Job;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  /// Stable backend name: "thread" or "process". Labels the backend's
+  /// metric series and the /runz snapshot.
+  [[nodiscard]] virtual std::string_view kind() const noexcept = 0;
+
+  [[nodiscard]] virtual std::size_t worker_count() const noexcept = 0;
+
+  /// Runs all jobs; results are returned in job order. Rethrows the
+  /// first error any simulation (or worker) raised, after the whole
+  /// batch has drained — the backend stays usable afterwards.
+  [[nodiscard]] virtual std::vector<coverage::SimStats> run_all(
+      const duv::Duv& duv, std::span<const Job> jobs) = 0;
+
+  /// Single-job convenience over run_all.
+  [[nodiscard]] coverage::SimStats run(const duv::Duv& duv,
+                                       const tgen::TestTemplate& tmpl,
+                                       std::size_t count,
+                                       std::uint64_t seed_root);
+
+  /// Total simulations executed since construction — the paper's cost
+  /// metric ("number of simulations").
+  [[nodiscard]] virtual std::size_t total_simulations() const noexcept = 0;
+
+  /// Point-in-time copy of the backend's run telemetry. Thread-pool
+  /// scheduling counters (steals, queue depth) are zero for backends
+  /// without an in-process pool.
+  [[nodiscard]] virtual batch::TelemetrySnapshot telemetry() const = 0;
+
+  /// Mean worker utilization since construction (0..1); 0 when the
+  /// backend cannot observe its workers' busy time.
+  [[nodiscard]] virtual double worker_busy_fraction() const noexcept = 0;
+
+ protected:
+  Backend() = default;
+};
+
+/// Parsed form of the CLI's --backend=thread|process[:N] flag.
+struct BackendConfig {
+  enum class Kind { kThread, kProcess };
+  Kind kind = Kind::kThread;
+  /// 0 selects the hardware concurrency.
+  std::size_t workers = 0;
+
+  friend bool operator==(const BackendConfig&, const BackendConfig&) = default;
+};
+
+/// Parses "thread", "process", "thread:N", "process:N". Throws
+/// util::ConfigError (message includes the accepted forms) on an
+/// unknown backend name or a garbage worker count.
+[[nodiscard]] BackendConfig parse_backend_spec(std::string_view spec);
+
+/// Canonical spelling of a config: "thread", "process:8", ...
+[[nodiscard]] std::string to_string(const BackendConfig& config);
+
+/// Constructs the configured backend.
+[[nodiscard]] std::unique_ptr<Backend> make_backend(
+    const BackendConfig& config);
+
+}  // namespace ascdg::exec

@@ -1,0 +1,44 @@
+// The in-process thread backend: batch::SimFarm behind the Backend
+// seam. This is the default — everything the farm guarantees (work
+// stealing, batch-of-seeds kernels, compile-once-per-job, drain-on-
+// destroy) carries over verbatim.
+#pragma once
+
+#include "batch/sim_farm.hpp"
+#include "exec/backend.hpp"
+
+namespace ascdg::exec {
+
+class ThreadFarm final : public Backend {
+ public:
+  /// `num_workers` == 0 selects the hardware concurrency.
+  explicit ThreadFarm(std::size_t num_workers = 0) : farm_(num_workers) {}
+
+  [[nodiscard]] std::string_view kind() const noexcept override {
+    return "thread";
+  }
+  [[nodiscard]] std::size_t worker_count() const noexcept override {
+    return farm_.worker_count();
+  }
+  [[nodiscard]] std::vector<coverage::SimStats> run_all(
+      const duv::Duv& duv, std::span<const Job> jobs) override {
+    return farm_.run_all(duv, jobs);
+  }
+  [[nodiscard]] std::size_t total_simulations() const noexcept override {
+    return farm_.total_simulations();
+  }
+  [[nodiscard]] batch::TelemetrySnapshot telemetry() const override {
+    return farm_.telemetry();
+  }
+  [[nodiscard]] double worker_busy_fraction() const noexcept override {
+    return farm_.worker_busy_fraction();
+  }
+
+  /// The wrapped farm, for callers that need thread-pool specifics.
+  [[nodiscard]] batch::SimFarm& farm() noexcept { return farm_; }
+
+ private:
+  batch::SimFarm farm_;
+};
+
+}  // namespace ascdg::exec

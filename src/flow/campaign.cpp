@@ -92,7 +92,7 @@ std::size_t best_sample_for(const cdg::RandomSampleResult& sampling,
 }
 
 MultiTargetResult run_multi_target(
-    const duv::Duv& duv, batch::SimFarm& farm, const FlowConfig& config,
+    const duv::Duv& duv, exec::Backend& farm, const FlowConfig& config,
     std::span<const neighbors::ApproximatedTarget> targets,
     const tgen::TestTemplate& seed_template) {
   if (targets.empty()) {

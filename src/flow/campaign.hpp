@@ -68,7 +68,7 @@ struct MultiTargetResult {
 /// checkpoint. Throws util::ConfigError when `targets` is empty or the
 /// resumed campaign manifest does not match this configuration.
 [[nodiscard]] MultiTargetResult run_multi_target(
-    const duv::Duv& duv, batch::SimFarm& farm, const FlowConfig& config,
+    const duv::Duv& duv, exec::Backend& farm, const FlowConfig& config,
     std::span<const neighbors::ApproximatedTarget> targets,
     const tgen::TestTemplate& seed_template);
 

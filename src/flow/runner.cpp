@@ -64,7 +64,7 @@ const std::vector<std::string> kTemplateStages = {
 
 }  // namespace
 
-CdgRunner::CdgRunner(const duv::Duv& duv, batch::SimFarm& farm,
+CdgRunner::CdgRunner(const duv::Duv& duv, exec::Backend& farm,
                      FlowConfig config)
     : duv_(&duv), farm_(&farm), config_(std::move(config)) {
   if (config_.sample_templates == 0 || config_.sample_sims == 0) {

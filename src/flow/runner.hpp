@@ -23,7 +23,7 @@
 #include <string_view>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/backend.hpp"
 #include "coverage/repository.hpp"
 #include "duv/duv.hpp"
 #include "flow/session.hpp"
@@ -37,7 +37,7 @@ namespace ascdg::flow {
 class CdgRunner {
  public:
   /// `duv` and `farm` must outlive the runner.
-  CdgRunner(const duv::Duv& duv, batch::SimFarm& farm, FlowConfig config);
+  CdgRunner(const duv::Duv& duv, exec::Backend& farm, FlowConfig config);
 
   /// Full flow. `before` is the unit's existing coverage repository (the
   /// "Before CDG" data); the coarse search mines it through TAC for the
@@ -79,7 +79,7 @@ class CdgRunner {
       std::span<const std::string> stage_names, std::string_view context_key);
 
   const duv::Duv* duv_;
-  batch::SimFarm* farm_;
+  exec::Backend* farm_;
   FlowConfig config_;
   std::optional<SessionSummary> session_summary_;
 };

@@ -260,6 +260,11 @@ std::uint64_t config_fingerprint(const FlowConfig& config,
   mix(config.refine_max_iterations);
   mix(config.harvest_sims);
   mix(config.seed);
+  // Deliberately NOT mixed: config.backend (and the telemetry / serve /
+  // session knobs). Backends are bit-identical by contract, so the
+  // backend choice — like --serve or --timeline — cannot change what a
+  // session computes, and a run started on one backend may resume on
+  // another (exec_test pins this).
   for (const char c : context_key) {
     mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
   }

@@ -20,7 +20,7 @@
 #include <string_view>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/backend.hpp"
 #include "coverage/repository.hpp"
 #include "duv/duv.hpp"
 #include "flow/session.hpp"
@@ -39,7 +39,7 @@ struct StageContext {
   using Clock = std::chrono::steady_clock;
 
   const duv::Duv* duv = nullptr;
-  batch::SimFarm* farm = nullptr;
+  exec::Backend* farm = nullptr;
   const FlowConfig* config = nullptr;
   const neighbors::ApproximatedTarget* target = nullptr;
   /// nullptr for an ephemeral (un-sessioned) run.

@@ -11,6 +11,7 @@
 
 #include "cdg/random_sample.hpp"
 #include "cdg/skeletonizer.hpp"
+#include "exec/backend.hpp"
 #include "obs/trace.hpp"
 #include "opt/implicit_filtering.hpp"
 #include "tgen/skeleton.hpp"
@@ -78,6 +79,15 @@ struct FlowConfig {
   std::size_t harvest_sims = 10000;
 
   std::uint64_t seed = 2021;
+
+  /// Execution backend the driver runs every simulation on (thread farm
+  /// by default; forked worker processes via --backend=process[:N], see
+  /// docs/backends.md). Like the telemetry knobs, the backend choice
+  /// never changes results — backends are bit-identical by contract —
+  /// so it is excluded from the session config fingerprint
+  /// (flow/session.cpp): a session started on one backend may resume on
+  /// another.
+  exec::BackendConfig backend{};
 
   // Durable session (docs/sessions.md). When `session_dir` is
   // non-empty the flow checkpoints every stage boundary and every

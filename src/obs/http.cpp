@@ -211,6 +211,7 @@ std::string HttpServer::handle(std::string_view method,
         .add("phase", run.current_phase())
         .add_raw("phase_stack", stack)
         .add("seed_template", run.seed_template)
+        .add("backend", run.backend)
         .add("resumed", !run.resumed_from.empty())
         .add("resumed_from", run.resumed_from)
         .add("opt_started", run.opt_started)

@@ -49,6 +49,12 @@ void RunState::set_resumed_from(std::string_view stage) {
   ++state_.updates;
 }
 
+void RunState::set_backend(std::string_view backend) {
+  const std::scoped_lock lock(mutex_);
+  state_.backend = std::string(backend);
+  ++state_.updates;
+}
+
 void RunState::reset() {
   const std::scoped_lock lock(mutex_);
   const std::uint64_t updates = state_.updates + 1;

@@ -36,6 +36,11 @@ class RunState {
     /// run from a fresh one.
     std::string resumed_from;
 
+    /// Execution backend of the current run ("thread", "process:8";
+    /// "" before the driver announces one). Sticky across start_flow,
+    /// like resumed_from — the backend is chosen before the flow runs.
+    std::string backend;
+
     /// Innermost phase, or "idle" when no flow is running.
     [[nodiscard]] std::string current_phase() const {
       return phase_stack.empty() ? "idle" : phase_stack.back();
@@ -53,6 +58,8 @@ class RunState {
   /// See Snapshot::resumed_from. Sticky across start_flow (the resume
   /// is announced before the flow starts).
   void set_resumed_from(std::string_view stage);
+  /// See Snapshot::backend. Sticky across start_flow.
+  void set_backend(std::string_view backend);
   /// Clears everything back to idle (flow end, or test isolation).
   void reset();
 

@@ -32,7 +32,7 @@ CellColor status_color(coverage::HitStatus status) {
 }
 
 /// The four phases of a flow result, in report order.
-std::array<const cdg::PhaseOutcome*, 4> phases_of(const cdg::FlowResult& flow) {
+std::array<const flow::PhaseOutcome*, 4> phases_of(const flow::FlowResult& flow) {
   return {&flow.before, &flow.sampling_phase, &flow.optimization_phase,
           &flow.harvest_phase};
 }
@@ -41,7 +41,7 @@ std::array<const cdg::PhaseOutcome*, 4> phases_of(const cdg::FlowResult& flow) {
 
 util::Table phase_table(const coverage::CoverageSpace& space,
                         std::span<const coverage::EventId> family_events,
-                        const cdg::FlowResult& flow) {
+                        const flow::FlowResult& flow) {
   std::vector<std::string> headers{"Event"};
   for (const auto* phase : phases_of(flow)) {
     headers.push_back(phase->name + " #hits");
@@ -87,7 +87,7 @@ StatusCounts count_status(const coverage::SimStats& stats,
 
 util::Table status_table(const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> events,
-                         const cdg::FlowResult& flow) {
+                         const flow::FlowResult& flow) {
   (void)space;
   util::Table table({"Phase", "never-hit", "lightly-hit", "well-hit", "sims"});
   for (const auto* phase : phases_of(flow)) {
@@ -104,7 +104,7 @@ util::Table status_table(const coverage::CoverageSpace& space,
 
 void render_status_bars(std::ostream& os,
                         std::span<const coverage::EventId> events,
-                        const cdg::FlowResult& flow, bool use_color) {
+                        const flow::FlowResult& flow, bool use_color) {
   const std::size_t total = events.size();
   if (total == 0) return;
   constexpr std::size_t kWidth = 64;
@@ -191,7 +191,7 @@ void render_session(std::ostream& os, const flow::SessionSummary& session) {
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
-                         const cdg::FlowResult& flow,
+                         const flow::FlowResult& flow,
                          const batch::TelemetrySnapshot* farm,
                          const flow::SessionSummary* session) {
   if (path.has_parent_path()) {
@@ -255,9 +255,9 @@ void write_flow_markdown(const std::filesystem::path& path,
   }
 }
 
-util::Table telemetry_table(const cdg::FlowResult& flow) {
+util::Table telemetry_table(const flow::FlowResult& flow) {
   util::Table table({"Phase", "sims", "share", "wall ms", "sims/s"});
-  const std::array<const cdg::PhaseOutcome*, 3> flow_phases{
+  const std::array<const flow::PhaseOutcome*, 3> flow_phases{
       &flow.sampling_phase, &flow.optimization_phase, &flow.harvest_phase};
   const std::size_t total = flow.flow_sims();
   double total_ms = 0.0;
@@ -418,7 +418,7 @@ FarmTotals farm_totals(const obs::MetricsSnapshot& snapshot) {
 }  // namespace
 
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow,
+                        const flow::FlowResult& flow,
                         const obs::MetricsSnapshot* snapshot) {
   os << "## Convergence\n\n"
      << "Best objective value per optimization iteration (paper Fig. 6):\n\n"
@@ -433,7 +433,11 @@ void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
     // The throughput headline: how fast the batched simulate_batch
     // kernels actually ran, measured in busy-worker time so the number
     // survives a blocked main thread and compares across worker counts.
-    if (const FarmTotals farm = farm_totals(*snapshot); farm.sims != 0) {
+    // The process backend cannot observe worker-busy time from the
+    // parent (busy_ns stays 0), so the line is omitted rather than
+    // reporting a meaningless 0 sims/sec.
+    if (const FarmTotals farm = farm_totals(*snapshot);
+        farm.sims != 0 && farm.busy_ns != 0) {
       os << "\nSimulation throughput: " << util::format_count(farm.sims)
          << " farm sims at " << util::format_number(farm.sims_per_sec(), 3)
          << " sims/sec of busy worker time.\n";
@@ -520,7 +524,7 @@ void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
 
 void write_metrics_json(const std::filesystem::path& path,
                         const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow,
+                        const flow::FlowResult& flow,
                         const obs::MetricsSnapshot& snapshot) {
   if (path.has_parent_path()) {
     std::error_code ec;
@@ -621,7 +625,7 @@ void write_metrics_json(const std::filesystem::path& path,
   }
 }
 
-std::string phase_caption(const cdg::FlowResult& flow) {
+std::string phase_caption(const flow::FlowResult& flow) {
   std::string caption;
   caption += "Before CDG (" + util::format_count(flow.before.sims) + " sims); ";
   caption += "Sampling (" + std::to_string(flow.sampling.samples.size()) +

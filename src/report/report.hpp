@@ -11,7 +11,7 @@
 #include <span>
 #include <string>
 
-#include "cdg/runner.hpp"
+#include "flow/runner.hpp"
 #include "coverage/space.hpp"
 #include "obs/metrics.hpp"
 #include "opt/objective.hpp"
@@ -24,7 +24,7 @@ namespace ascdg::report {
 [[nodiscard]] util::Table phase_table(
     const coverage::CoverageSpace& space,
     std::span<const coverage::EventId> family_events,
-    const cdg::FlowResult& flow);
+    const flow::FlowResult& flow);
 
 /// Event-status counts over an event set.
 struct StatusCounts {
@@ -44,13 +44,13 @@ struct StatusCounts {
 /// Builds the Fig. 5-style table: status counts at each flow phase.
 [[nodiscard]] util::Table status_table(
     const coverage::CoverageSpace& space,
-    std::span<const coverage::EventId> events, const cdg::FlowResult& flow);
+    std::span<const coverage::EventId> events, const flow::FlowResult& flow);
 
 /// Renders a Fig. 5-style horizontal bar chart of status counts per
 /// phase (ASCII, colored when `use_color`).
 void render_status_bars(std::ostream& os,
                         std::span<const coverage::EventId> events,
-                        const cdg::FlowResult& flow, bool use_color = true);
+                        const flow::FlowResult& flow, bool use_color = true);
 
 /// Renders a Fig. 6-style ASCII line chart: max target value per
 /// optimization iteration.
@@ -58,11 +58,11 @@ void render_trace(std::ostream& os, const opt::OptResult& result,
                   std::size_t height = 16);
 
 /// One-paragraph phase header ("Sampling phase (200 tests x 100 sims)").
-[[nodiscard]] std::string phase_caption(const cdg::FlowResult& flow);
+[[nodiscard]] std::string phase_caption(const flow::FlowResult& flow);
 
 /// Builds the run-telemetry table: per flow phase, its simulation
 /// budget, share of the flow's total, wall time, and throughput.
-[[nodiscard]] util::Table telemetry_table(const cdg::FlowResult& flow);
+[[nodiscard]] util::Table telemetry_table(const flow::FlowResult& flow);
 
 /// Renders a farm telemetry snapshot (counters + chunk-latency
 /// histogram) as a markdown fragment.
@@ -86,7 +86,7 @@ void render_run_health(std::ostream& os, const obs::MetricsSnapshot& snapshot);
 /// (chunk latency, eval batch size) are appended — the per-simulation
 /// cost behind the convergence curve.
 void render_convergence(std::ostream& os, const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow,
+                        const flow::FlowResult& flow,
                         const obs::MetricsSnapshot* snapshot = nullptr);
 
 /// Renders a durable-session manifest summary as a markdown fragment:
@@ -104,7 +104,7 @@ void render_session(std::ostream& os, const flow::SessionSummary& session);
 void write_flow_markdown(const std::filesystem::path& path,
                          const coverage::CoverageSpace& space,
                          std::span<const coverage::EventId> family_events,
-                         const cdg::FlowResult& flow,
+                         const flow::FlowResult& flow,
                          const batch::TelemetrySnapshot* farm = nullptr,
                          const flow::SessionSummary* session = nullptr);
 
@@ -116,7 +116,7 @@ void write_flow_markdown(const std::filesystem::path& path,
 /// util::Error on IO failure. See docs/observability.md.
 void write_metrics_json(const std::filesystem::path& path,
                         const coverage::CoverageSpace& space,
-                        const cdg::FlowResult& flow,
+                        const flow::FlowResult& flow,
                         const obs::MetricsSnapshot& snapshot);
 
 }  // namespace ascdg::report

@@ -40,6 +40,7 @@ constexpr std::array<const char*, FailurePoint::kIdCount> kNames = {
     "atomic_write.rename", "atomic_write.dir_fsync",
     "manifest.read",       "artifact.read",
     "http.accept",         "http.recv",          "http.send",
+    "exec.pipe_read",      "exec.pipe_write",
 };
 
 /// Symbolic errno values accepted in ASCDG_FAIL_POINTS; anything else
@@ -53,6 +54,7 @@ int errno_from_symbol(std::string_view text) {
       {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"EINTR", EINTR},
       {"EAGAIN", EAGAIN}, {"EACCES", EACCES}, {"ENOENT", ENOENT},
       {"EROFS", EROFS},   {"EMFILE", EMFILE}, {"ECONNRESET", ECONNRESET},
+      {"EPIPE", EPIPE},
   };
   for (const auto& entry : kTable) {
     if (entry.name == text) return entry.value;

@@ -47,8 +47,10 @@ class FailurePoint {
     kHttpAccept,           ///< HttpServer accept(2)
     kHttpRecv,             ///< HttpServer recv(2)
     kHttpSend,             ///< HttpServer send(2)
+    kExecPipeRead,         ///< exec::ProcessFarm read(2) of a worker frame
+    kExecPipeWrite,        ///< exec::ProcessFarm write(2) of a worker frame
   };
-  static constexpr int kIdCount = 10;
+  static constexpr int kIdCount = 12;
 
   /// The production-side hook: returns 0 when the point does not fire,
   /// else the errno to inject. One relaxed atomic load when nothing is

@@ -12,6 +12,7 @@
 
 #include "batch/sim_farm.hpp"
 #include "cdg/cdg_objective.hpp"
+#include "exec/thread_farm.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "duv/io_unit.hpp"
 #include "duv/l3_cache.hpp"
@@ -424,7 +425,7 @@ TEST(SimFarmV2, ConcurrentBatchedEvaluationsAreRaceFreeAndDeterministic) {
     seeds.push_back(5000 + i);
   }
 
-  SimFarm farm(4);
+  exec::ThreadFarm farm(4);
   // Reference: a single caller evaluating the same batch.
   cdg::CdgObjective reference(io, farm, skeleton, target, 20);
   const std::vector<double> expected = reference.evaluate_batch(xs, seeds);

@@ -8,11 +8,11 @@
 #include <string>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/thread_farm.hpp"
 #include "cdg/cdg_objective.hpp"
-#include "cdg/multi_target.hpp"
+#include "flow/campaign.hpp"
 #include "cdg/random_sample.hpp"
-#include "cdg/runner.hpp"
+#include "flow/runner.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "duv/io_unit.hpp"
 #include "neighbors/neighbors.hpp"
@@ -25,6 +25,10 @@
 
 namespace ascdg::cdg {
 namespace {
+
+// The flow-level driver types moved from cdg/runner.hpp to flow/ when
+// the runner was decomposed into stages; this file tests both layers.
+using namespace ascdg::flow;  // NOLINT
 
 using tgen::parse_template;
 using util::ConfigError;
@@ -194,7 +198,7 @@ TEST(SplitRange, GeometricWidthsGrow) {
 class CdgObjectiveTest : public ::testing::Test {
  protected:
   duv::IoUnit io_;
-  batch::SimFarm farm_{2};
+  exec::ThreadFarm farm_{2};
 
   tgen::Skeleton crc_skeleton() {
     const auto suite = io_.suite();
@@ -272,8 +276,8 @@ TEST_F(CdgObjectiveTest, BatchMatchesScalarEvaluationBitIdentical) {
 TEST_F(CdgObjectiveTest, BatchResultsIndependentOfWorkerCount) {
   const auto skel = crc_skeleton();
   const auto target = crc_target();
-  batch::SimFarm farm1(1);
-  batch::SimFarm farm8(8);
+  exec::ThreadFarm farm1(1);
+  exec::ThreadFarm farm8(8);
   CdgObjective obj1(io_, farm1, skel, target, 25);
   CdgObjective obj8(io_, farm8, skel, target, 25);
 
@@ -420,7 +424,7 @@ class CdgDispatchEquivalence : public CdgObjectiveTest {
     std::vector<opt::OptResult> results;
     std::vector<std::size_t> sims;
     for (const std::size_t workers : {std::size_t{1}, std::size_t{8}}) {
-      batch::SimFarm farm(workers);
+      exec::ThreadFarm farm(workers);
       CdgObjective native(io_, farm, skel, target, 20);
       results.push_back(run(native, skel.mark_count()));
       sims.push_back(native.simulations());
@@ -569,7 +573,7 @@ TEST(CoarseSearch, RanksAndThrowsWhenEmpty) {
 
 TEST(Runner, ConfigValidation) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config;
   config.sample_templates = 0;
   EXPECT_THROW(CdgRunner(io, farm, config), ConfigError);
@@ -580,7 +584,7 @@ TEST(Runner, ConfigValidation) {
 
 TEST(Runner, RunFromTemplateSmallBudget) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config;
   config.sample_templates = 15;
   config.sample_sims = 20;
@@ -630,7 +634,7 @@ bool extract_uint_field(const std::string& line, const std::string& key,
 
 TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   std::ostringstream trace;
   obs::Tracer sink(trace);
 
@@ -718,7 +722,7 @@ TEST(Runner, TraceJsonlPhaseSimsSumToFarmTotal) {
 
 TEST(Runner, FullRunUsesCoarseSearch) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   // Build a small "before" repository from the suite.
   coverage::CoverageRepository repo(io.space().size());
   const auto suite = io.suite();
@@ -744,7 +748,7 @@ TEST(Runner, FullRunUsesCoarseSearch) {
 
 TEST(Runner, HarvestCanBeDisabled) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config;
   config.sample_templates = 5;
   config.sample_sims = 10;
@@ -763,13 +767,13 @@ TEST(Runner, HarvestCanBeDisabled) {
 
 TEST(Runner, CorrelationExpansionGrowsObjective) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   coverage::CoverageRepository repo(io.space().size());
   const auto suite = io.suite();
   for (std::size_t j = 0; j < suite.size(); ++j) {
     repo.record(suite[j].name(), farm.run(io, suite[j], 200, 900 + j));
   }
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 8;
   config.sample_sims = 10;
   config.opt_directions = 2;
@@ -794,7 +798,7 @@ TEST(Refinement, RunsWhenEvidenceExists) {
   // Target an event the seed template hits reliably -> evidence after
   // the optimization phase is certain, so the refinement stage must run.
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config;
   config.sample_templates = 10;
   config.sample_sims = 15;
@@ -829,7 +833,7 @@ TEST(Refinement, SkippedWithoutEvidence) {
   // Target the unhittable deep tail with a tiny budget: no evidence,
   // refinement must be skipped.
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config;
   config.sample_templates = 5;
   config.sample_sims = 10;
@@ -858,7 +862,7 @@ TEST(Refinement, OffByDefault) {
 class MultiTargetTest : public ::testing::Test {
  protected:
   duv::IoUnit io_;
-  batch::SimFarm farm_{2};
+  exec::ThreadFarm farm_{2};
 
   FlowConfig small_config() {
     FlowConfig config;

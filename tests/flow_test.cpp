@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
+#include "exec/thread_farm.hpp"
 #include "coverage/repository.hpp"
 #include "duv/io_unit.hpp"
 #include "flow/artifacts.hpp"
@@ -399,7 +399,7 @@ FlowConfig small_config() {
 
 TEST(SessionedRun, ResumeRequiresSessionDir) {
   const duv::IoUnit io;
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   FlowConfig config = small_config();
   config.resume = true;  // but no session_dir
   EXPECT_THROW(CdgRunner(io, farm, config), ConfigError);
@@ -415,7 +415,7 @@ TEST(SessionedRun, CompletedSessionResumesWithZeroSimulations) {
   FlowConfig config = small_config();
   config.session_dir = dir.string();
 
-  batch::SimFarm farm1(2);
+  exec::ThreadFarm farm1(2);
   CdgRunner runner1(io, farm1, config);
   const auto first = runner1.run_from_template(target, seed_template);
   EXPECT_EQ(farm1.total_simulations(), first.flow_sims());
@@ -425,7 +425,7 @@ TEST(SessionedRun, CompletedSessionResumesWithZeroSimulations) {
   // Resume with a FRESH farm: every stage replays from its artifact, so
   // the farm runs nothing and the results are bit-identical.
   config.resume = true;
-  batch::SimFarm farm2(2);
+  exec::ThreadFarm farm2(2);
   CdgRunner runner2(io, farm2, config);
   const auto second = runner2.run_from_template(target, seed_template);
   EXPECT_EQ(farm2.total_simulations(), 0u);
@@ -461,14 +461,14 @@ TEST(SessionedRun, ResumeRejectsChangedConfig) {
 
   FlowConfig config = small_config();
   config.session_dir = dir.string();
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   CdgRunner runner(io, farm, config);
   (void)runner.run_from_template(target, io.suite().front());
 
   // A different seed answers a different question: hard error.
   config.resume = true;
   config.seed = 1234;
-  batch::SimFarm farm2(2);
+  exec::ThreadFarm farm2(2);
   CdgRunner changed(io, farm2, config);
   EXPECT_THROW((void)changed.run_from_template(target, io.suite().front()),
                ConfigError);
@@ -476,7 +476,7 @@ TEST(SessionedRun, ResumeRejectsChangedConfig) {
   // So does resuming a run() session through run_from_template (the
   // context key differs even with identical budgets).
   config.seed = small_config().seed;
-  batch::SimFarm farm3(2);
+  exec::ThreadFarm farm3(2);
   CdgRunner other_entry(io, farm3, config);
   const auto other_template = io.suite().back();
   EXPECT_THROW((void)other_entry.run_from_template(target, other_template),
@@ -491,7 +491,7 @@ TEST(SessionedRun, RunMatchesRunFromTemplateOnSameSeed) {
   const duv::IoUnit io;
   const auto suite = io.suite();
 
-  batch::SimFarm farm1(2);
+  exec::ThreadFarm farm1(2);
   coverage::CoverageRepository repo(io.space().size());
   for (std::size_t j = 0; j < suite.size(); ++j) {
     repo.record(suite[j].name(), farm1.run(io, suite[j], 150, 500 + j));
@@ -509,7 +509,7 @@ TEST(SessionedRun, RunMatchesRunFromTemplateOnSameSeed) {
   }
   ASSERT_NE(seed_template, nullptr) << via_run.seed_template;
 
-  batch::SimFarm farm2(2);
+  exec::ThreadFarm farm2(2);
   CdgRunner from_template(io, farm2, config);
   const auto via_template =
       from_template.run_from_template(target, *seed_template);
@@ -544,7 +544,7 @@ TEST(Campaign, SessionResumesWithZeroSimulations) {
   FlowConfig config = small_config();
   config.session_dir = dir.string();
 
-  batch::SimFarm farm1(2);
+  exec::ThreadFarm farm1(2);
   const auto first =
       run_multi_target(io, farm1, config, targets, suite.front());
   EXPECT_EQ(first.session_dir, dir.string());
@@ -555,7 +555,7 @@ TEST(Campaign, SessionResumesWithZeroSimulations) {
   EXPECT_TRUE(fs::exists(dir / "target_01" / "manifest.json"));
 
   config.resume = true;
-  batch::SimFarm farm2(2);
+  exec::ThreadFarm farm2(2);
   const auto second =
       run_multi_target(io, farm2, config, targets, suite.front());
   EXPECT_EQ(farm2.total_simulations(), 0u);
@@ -587,7 +587,7 @@ TEST(Campaign, ResumeRejectsDifferentTargetSet) {
   const auto suite = io.suite();
   FlowConfig config = small_config();
   config.session_dir = dir.string();
-  batch::SimFarm farm(2);
+  exec::ThreadFarm farm(2);
   (void)run_multi_target(io, farm, config, two, suite.front());
 
   // Resuming with a different target count contradicts the manifest.
@@ -595,7 +595,7 @@ TEST(Campaign, ResumeRejectsDifferentTargetSet) {
   const std::vector<neighbors::ApproximatedTarget> three{
       two[0], two[1],
       neighbors::ApproximatedTarget({family[2]}, {{family[2], 1.0}})};
-  batch::SimFarm farm2(2);
+  exec::ThreadFarm farm2(2);
   EXPECT_THROW((void)run_multi_target(io, farm2, config, three, suite.front()),
                ConfigError);
 }

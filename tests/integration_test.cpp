@@ -5,8 +5,8 @@
 // structurally unhittable events stay at zero.
 #include <gtest/gtest.h>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/runner.hpp"
+#include "exec/thread_farm.hpp"
+#include "flow/runner.hpp"
 #include "coverage/repository.hpp"
 #include "duv/ifu.hpp"
 #include "duv/io_unit.hpp"
@@ -27,11 +27,11 @@ class IntegrationFlow : public ::testing::Test {
   /// Simulates the unit's full suite to build the "Before CDG"
   /// repository.
   static coverage::CoverageRepository before_repo(const duv::Duv& duv,
-                                                  batch::SimFarm& farm,
+                                                  exec::ThreadFarm& farm,
                                                   std::size_t sims_per_tmpl) {
     coverage::CoverageRepository repo(duv.space().size());
     const auto suite = duv.suite();
-    std::vector<batch::SimFarm::Job> jobs;
+    std::vector<exec::Job> jobs;
     jobs.reserve(suite.size());
     for (std::size_t j = 0; j < suite.size(); ++j) {
       jobs.push_back({&suite[j], sims_per_tmpl, 0xBEF0000 + j});
@@ -43,8 +43,8 @@ class IntegrationFlow : public ::testing::Test {
     return repo;
   }
 
-  static cdg::FlowConfig small_config() {
-    cdg::FlowConfig config;
+  static flow::FlowConfig small_config() {
+    flow::FlowConfig config;
     config.sample_templates = 60;
     config.sample_sims = 30;
     config.opt_directions = 10;
@@ -58,7 +58,7 @@ class IntegrationFlow : public ::testing::Test {
 
 TEST_F(IntegrationFlow, IoUnitFlowHitsUncoveredCrcEvents) {
   const duv::IoUnit io;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   const auto repo = before_repo(io, farm, 400);
   const auto before_total = repo.total();
 
@@ -67,7 +67,7 @@ TEST_F(IntegrationFlow, IoUnitFlowHitsUncoveredCrcEvents) {
   ASSERT_FALSE(target.targets().empty())
       << "defaults must leave part of the crc family uncovered";
 
-  cdg::CdgRunner runner(io, farm, small_config());
+  flow::CdgRunner runner(io, farm, small_config());
   const auto suite = io.suite();
   const auto result = runner.run(target, repo, suite);
 
@@ -98,7 +98,7 @@ TEST_F(IntegrationFlow, IoUnitFlowHitsUncoveredCrcEvents) {
 
 TEST_F(IntegrationFlow, L3FlowTurnsNeverHitIntoHit) {
   const duv::L3Cache l3;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   const auto repo = before_repo(l3, farm, 400);
   const auto before_total = repo.total();
 
@@ -107,7 +107,7 @@ TEST_F(IntegrationFlow, L3FlowTurnsNeverHitIntoHit) {
   ASSERT_GE(target.targets().size(), 4u)
       << "the byp_reqs tail must start uncovered";
 
-  cdg::CdgRunner runner(l3, farm, small_config());
+  flow::CdgRunner runner(l3, farm, small_config());
   const auto result = runner.run(target, repo, l3.suite());
   EXPECT_TRUE(result.seed_template.starts_with("l3_nc_smoke"))
       << result.seed_template;
@@ -130,13 +130,13 @@ TEST_F(IntegrationFlow, L3FlowTurnsNeverHitIntoHit) {
 
 TEST_F(IntegrationFlow, IfuCrossProductEntry7StaysUncovered) {
   const duv::Ifu ifu;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   const auto repo = before_repo(ifu, farm, 300);
   const auto before_total = repo.total();
 
   const auto target =
       neighbors::family_target(ifu.space(), "ifu", before_total);
-  cdg::CdgRunner runner(ifu, farm, small_config());
+  flow::CdgRunner runner(ifu, farm, small_config());
   const auto result = runner.run(target, repo, ifu.suite());
 
   const auto family = ifu.space().family_events("ifu");
@@ -169,13 +169,13 @@ TEST_F(IntegrationFlow, IfuCrossProductEntry7StaysUncovered) {
 
 TEST_F(IntegrationFlow, LsuFlowDeepensForwardingCoverage) {
   const duv::Lsu lsu;
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   const auto repo = before_repo(lsu, farm, 400);
   const auto target =
       neighbors::family_target(lsu.space(), "lsu_fwdq", repo.total());
   ASSERT_FALSE(target.targets().empty());
 
-  cdg::CdgRunner runner(lsu, farm, small_config());
+  flow::CdgRunner runner(lsu, farm, small_config());
   const auto result = runner.run(target, repo, lsu.suite());
 
   // The harvested template hits at least one previously uncovered
@@ -191,8 +191,8 @@ TEST_F(IntegrationFlow, LsuFlowDeepensForwardingCoverage) {
 
 TEST_F(IntegrationFlow, FlowIsDeterministicEndToEnd) {
   const duv::IoUnit io;
-  batch::SimFarm farm_a(3), farm_b(1);
-  cdg::FlowConfig config = small_config();
+  exec::ThreadFarm farm_a(3), farm_b(1);
+  flow::FlowConfig config = small_config();
   config.sample_templates = 10;
   config.sample_sims = 15;
   config.opt_max_iterations = 2;
@@ -207,8 +207,8 @@ TEST_F(IntegrationFlow, FlowIsDeterministicEndToEnd) {
   }
   ASSERT_NE(seed_tmpl, nullptr);
 
-  cdg::CdgRunner runner_a(io, farm_a, config);
-  cdg::CdgRunner runner_b(io, farm_b, config);
+  flow::CdgRunner runner_a(io, farm_a, config);
+  flow::CdgRunner runner_b(io, farm_b, config);
   const auto a = runner_a.run_from_template(target, *seed_tmpl);
   const auto b = runner_b.run_from_template(target, *seed_tmpl);
 
@@ -233,7 +233,7 @@ TEST_P(FlowContract, MiniFlowSatisfiesInvariants) {
   const auto family = std::string(duv::unit_primary_family(GetParam()));
   ASSERT_FALSE(family.empty());
 
-  batch::SimFarm farm;
+  exec::ThreadFarm farm;
   coverage::CoverageRepository repo(unit->space().size());
   const auto suite = unit->suite();
   for (std::size_t j = 0; j < suite.size(); ++j) {
@@ -242,7 +242,7 @@ TEST_P(FlowContract, MiniFlowSatisfiesInvariants) {
   const auto target =
       neighbors::family_target(unit->space(), family, repo.total());
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   config.sample_templates = 30;
   config.sample_sims = 25;
   config.opt_directions = 8;
@@ -250,7 +250,7 @@ TEST_P(FlowContract, MiniFlowSatisfiesInvariants) {
   config.opt_max_iterations = 6;
   config.harvest_sims = 800;
   config.seed = 0xF70;
-  cdg::CdgRunner runner(*unit, farm, config);
+  flow::CdgRunner runner(*unit, farm, config);
   const auto result = runner.run(target, repo, suite);
 
   // Accounting invariants.
@@ -280,8 +280,8 @@ INSTANTIATE_TEST_SUITE_P(AllUnits, FlowContract,
 
 TEST_F(IntegrationFlow, ReportsRenderOnRealFlow) {
   const duv::IoUnit io;
-  batch::SimFarm farm;
-  cdg::FlowConfig config = small_config();
+  exec::ThreadFarm farm;
+  flow::FlowConfig config = small_config();
   config.sample_templates = 10;
   config.sample_sims = 15;
   config.opt_max_iterations = 2;
@@ -293,7 +293,7 @@ TEST_F(IntegrationFlow, ReportsRenderOnRealFlow) {
   for (const auto& t : suite) {
     if (t.name() == "io_crc_smoke") seed_tmpl = &t;
   }
-  cdg::CdgRunner runner(io, farm, config);
+  flow::CdgRunner runner(io, farm, config);
   const auto result = runner.run_from_template(target, *seed_tmpl);
 
   const auto family = io.crc_family();

@@ -18,8 +18,8 @@ using coverage::SimStats;
 
 /// A fabricated flow result with controlled per-phase hit counts for
 /// three events.
-cdg::FlowResult fake_flow() {
-  cdg::FlowResult flow;
+flow::FlowResult fake_flow() {
+  flow::FlowResult flow;
   const auto stats_with = [](std::size_t sims, std::size_t h0, std::size_t h1,
                              std::size_t h2) {
     SimStats stats(3);

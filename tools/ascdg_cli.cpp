@@ -12,7 +12,7 @@
 //   ascdg run <unit> --family F [--before-sims N] [--samples N]
 //             [--sample-sims N] [--iterations N] [--directions N]
 //             [--point-sims N] [--harvest N] [--seed S] [--refine]
-//             [--session DIR] [--resume]
+//             [--backend=thread|process[:N]] [--session DIR] [--resume]
 //             [--save-best FILE] [--csv FILE] [--metrics FILE]
 //             [--serve[=PORT]] [--watchdog=SECS] [--flight-recorder=K]
 //   ascdg campaign <unit> --families F1,F2,... [budget flags as `run`]
@@ -35,9 +35,9 @@
 #include <string>
 #include <vector>
 
-#include "batch/sim_farm.hpp"
-#include "cdg/multi_target.hpp"
-#include "cdg/runner.hpp"
+#include "exec/backend.hpp"
+#include "flow/campaign.hpp"
+#include "flow/runner.hpp"
 #include "cdg/skeletonizer.hpp"
 #include "coverage/holes.hpp"
 #include "coverage/repository_io.hpp"
@@ -49,6 +49,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/http.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_state.hpp"
 #include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_profile.hpp"
@@ -87,6 +88,9 @@ commands:
       [--directions N] [--point-sims N] [--harvest N] [--seed S]
       [--eval-cache=on|off] (default on: reuse (point, seed) results)
       [--refine] [--save-best FILE] [--csv FILE] [--report FILE.md]
+      [--backend=thread|process[:N]] (execution backend, default thread;
+                       process forks N worker processes — also accepted
+                       by before/policy/holes/campaign/metrics-dump)
       [--session DIR] (checkpoint every stage boundary and optimizer
                        iteration into a durable session directory)
       [--resume] (restart from DIR's last checkpoint after a crash)
@@ -201,12 +205,36 @@ class Args {
   std::vector<std::string> args_;
 };
 
+/// Consumes --backend[=SPEC] and builds the execution backend (thread
+/// farm by default). A spec that does not parse is a usage error: the
+/// message lands on stderr and nullptr comes back, so callers `return
+/// 1` instead of letting the exception reach main's runtime-error path
+/// (exit 2). Callers must construct the result BEFORE starting any
+/// helper thread (HTTP server, watchdog, timeline sampler): the
+/// process backend forks its workers here, and fork + threads do not
+/// mix (see docs/backends.md).
+std::unique_ptr<ascdg::exec::Backend> backend_from_args(
+    Args& args, ascdg::exec::BackendConfig* out = nullptr) {
+  ascdg::exec::BackendConfig config;
+  if (const auto spec = args.value("--backend"); spec.has_value()) {
+    try {
+      config = ascdg::exec::parse_backend_spec(*spec);
+    } catch (const util::ConfigError& err) {
+      std::cerr << "error: " << err.what() << '\n';
+      return nullptr;
+    }
+  }
+  if (out != nullptr) *out = config;
+  obs::run_state().set_backend(ascdg::exec::to_string(config));
+  return ascdg::exec::make_backend(config);
+}
+
 coverage::CoverageRepository simulate_suite(const duv::Duv& unit,
-                                            batch::SimFarm& farm,
+                                            exec::Backend& farm,
                                             std::size_t sims) {
   coverage::CoverageRepository repo(unit.space().size());
   const auto suite = unit.suite();
-  std::vector<batch::SimFarm::Job> jobs;
+  std::vector<exec::Job> jobs;
   for (std::size_t j = 0; j < suite.size(); ++j) {
     jobs.push_back({&suite[j], sims, 0xC11 + j});
   }
@@ -299,8 +327,9 @@ int cmd_before(Args& args) {
     return 1;
   }
   const std::size_t sims = args.size_value("--sims", 2000);
-  batch::SimFarm farm;
-  const auto repo = simulate_suite(*unit, farm, sims);
+  const auto farm = backend_from_args(args);
+  if (farm == nullptr) return 1;
+  const auto repo = simulate_suite(*unit, *farm, sims);
 
   util::Table table({"template", "sims", "events hit", "uncovered after"});
   const tac::Tac tac_view(repo);
@@ -348,8 +377,9 @@ int cmd_policy(Args& args) {
     return 1;
   }
   const std::size_t sims = args.size_value("--sims", 2000);
-  batch::SimFarm farm;
-  const auto repo = simulate_suite(*unit, farm, sims);
+  const auto farm = backend_from_args(args);
+  if (farm == nullptr) return 1;
+  const auto repo = simulate_suite(*unit, *farm, sims);
   const tac::Tac tac_view(repo);
   const auto policy = tac_view.suggest_regression_policy();
   std::cout << "suggested regression policy (" << policy.size() << " of "
@@ -405,8 +435,9 @@ int cmd_holes(Args& args) {
   }
   const std::size_t sims = args.size_value("--sims", 2000);
   const std::size_t max_order = args.size_value("--max-order", 2);
-  batch::SimFarm farm;
-  const auto repo = simulate_suite(*unit, farm, sims);
+  const auto farm = backend_from_args(args);
+  if (farm == nullptr) return 1;
+  const auto repo = simulate_suite(*unit, *farm, sims);
   const auto holes =
       coverage::find_holes(unit->space(), *cp, repo.total(), max_order);
   std::cout << holes.size() << " maximal holes (order <= " << max_order
@@ -440,7 +471,7 @@ int cmd_run(Args& args) {
     return 1;
   }
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   const std::size_t before_sims = args.size_value("--before-sims", 5000);
   config.sample_templates = args.size_value("--samples", 200);
   config.sample_sims = args.size_value("--sample-sims", 100);
@@ -455,6 +486,13 @@ int cmd_run(Args& args) {
     config.session_dir = *session;
   }
   config.resume = args.flag("--resume");
+
+  // The backend forks its worker processes (when --backend=process)
+  // right here — before the trace/watchdog/timeline/HTTP helper
+  // threads below exist, because fork + threads do not mix
+  // (docs/backends.md).
+  const auto farm = backend_from_args(args, &config.backend);
+  if (farm == nullptr) return 1;
 
   // Live introspection. Bare `--serve` (consumed first so value() below
   // cannot eat the next flag as a port) means "ephemeral port"; the
@@ -561,14 +599,13 @@ int cmd_run(Args& args) {
               << " /timeseries)\n";
   }
 
-  batch::SimFarm farm;
   coverage::CoverageRepository repo(unit->space().size());
   if (const auto csv = args.value("--before-csv"); csv.has_value()) {
     repo = coverage::load_repository(*csv, unit->space());
     std::cerr << "loaded before-CDG coverage from " << *csv << " ("
               << util::format_count(repo.total_sims()) << " sims)\n";
   } else {
-    repo = simulate_suite(*unit, farm, before_sims);
+    repo = simulate_suite(*unit, *farm, before_sims);
   }
   if (const auto csv = args.value("--save-before"); csv.has_value()) {
     coverage::save_repository(*csv, unit->space(), repo);
@@ -582,7 +619,7 @@ int cmd_run(Args& args) {
   }
   std::cout << '\n';
 
-  cdg::CdgRunner runner(*unit, farm, config);
+  flow::CdgRunner runner(*unit, *farm, config);
   const auto suite = unit->suite();
   const auto result = runner.run(target, repo, suite);
 
@@ -599,7 +636,7 @@ int cmd_run(Args& args) {
         .render(std::cout, color);
   }
   std::cout << "\ntotal simulations: "
-            << util::format_count(farm.total_simulations()) << '\n';
+            << util::format_count(farm->total_simulations()) << '\n';
   if (runner.session_summary().has_value()) {
     const auto& session = *runner.session_summary();
     std::cout << "session: " << session.dir;
@@ -620,7 +657,7 @@ int cmd_run(Args& args) {
     std::cerr << "wrote " << *csv << '\n';
   }
   if (const auto md = args.value("--report"); md.has_value()) {
-    const auto farm_stats = farm.telemetry();
+    const auto farm_stats = farm->telemetry();
     const auto& session = runner.session_summary();
     report::write_flow_markdown(*md, unit->space(), events, result,
                                 &farm_stats,
@@ -662,7 +699,7 @@ int cmd_campaign(Args& args) {
     return 1;
   }
 
-  cdg::FlowConfig config;
+  flow::FlowConfig config;
   const std::size_t before_sims = args.size_value("--before-sims", 5000);
   config.sample_templates = args.size_value("--samples", 200);
   config.sample_sims = args.size_value("--sample-sims", 100);
@@ -676,6 +713,10 @@ int cmd_campaign(Args& args) {
     config.session_dir = *session;
   }
   config.resume = args.flag("--resume");
+  // Construct the backend before the timeline sampler thread below:
+  // the process backend forks, and fork + threads do not mix.
+  const auto farm = backend_from_args(args, &config.backend);
+  if (farm == nullptr) return 1;
   if (args.flag("--timeline")) {
     config.timeline_interval_ms = 1000;
   } else {
@@ -696,8 +737,7 @@ int cmd_campaign(Args& args) {
     timeline = std::make_unique<obs::TimeSeriesRecorder>(ts_config);
   }
 
-  batch::SimFarm farm;
-  const auto repo = simulate_suite(*unit, farm, before_sims);
+  const auto repo = simulate_suite(*unit, *farm, before_sims);
 
   std::vector<neighbors::ApproximatedTarget> targets;
   std::vector<std::string> family_names;
@@ -726,7 +766,7 @@ int cmd_campaign(Args& args) {
   if (const auto name = args.value("--seed-template"); name.has_value()) {
     wanted = *name;
   } else {
-    wanted = cdg::coarse_search(targets.front(), repo, 1).front().name;
+    wanted = flow::coarse_search(targets.front(), repo, 1).front().name;
   }
   const tgen::TestTemplate* seed_tmpl = nullptr;
   for (const auto& tmpl : suite) {
@@ -742,7 +782,7 @@ int cmd_campaign(Args& args) {
   }
 
   const auto result =
-      cdg::run_multi_target(*unit, farm, config, targets, *seed_tmpl);
+      flow::run_multi_target(*unit, *farm, config, targets, *seed_tmpl);
 
   std::cout << "campaign: " << targets.size() << " targets, shared sampling of "
             << util::format_count(result.sampling.simulations)
@@ -768,7 +808,7 @@ int cmd_campaign(Args& args) {
   }
   table.render(std::cout, util::stdout_supports_color());
   std::cout << "\ntotal simulations: "
-            << util::format_count(farm.total_simulations()) << '\n';
+            << util::format_count(farm->total_simulations()) << '\n';
   if (!result.session_dir.empty()) {
     std::cout << "campaign session: " << result.session_dir << " ("
               << result.sessions.size() << " sub-sessions)\n";
@@ -1223,8 +1263,9 @@ int cmd_metrics_dump(Args& args) {
 
   // Exercise the farm + TAC so the registry has something to show:
   // every metric family a real run would touch gets registered here.
-  batch::SimFarm farm;
-  const auto repo = simulate_suite(*unit, farm, sims);
+  const auto farm = backend_from_args(args);
+  if (farm == nullptr) return 1;
+  const auto repo = simulate_suite(*unit, *farm, sims);
   const tac::Tac tac_view(repo);
   (void)tac_view.best_templates(tac_view.uncovered_events(), 3);
 
@@ -1235,7 +1276,7 @@ int cmd_metrics_dump(Args& args) {
     std::cout << obs::to_prometheus(snapshot);
   }
   std::cerr << snapshot.samples.size() << " metric series after "
-            << util::format_count(farm.total_simulations())
+            << util::format_count(farm->total_simulations())
             << " simulations on " << unit_name << '\n';
   return 0;
 }

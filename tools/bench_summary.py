@@ -10,6 +10,10 @@ dashboard) actually tracks per commit:
     path, the repo's primary throughput headline;
   * the batched-vs-scalar-dispatch speedup (BM_FarmRunAllBatched over
     BM_FarmRunAllScalar at 8 workers);
+  * the fork-based process backend's wall-clock sims/sec at 1 and 8
+    workers (BM_ProcessFarmRunAll) — informational, no regression gate:
+    the pipe-protocol overhead is the price of crash isolation, and its
+    cost profile is workload-shaped rather than code-shaped;
   * cpu-time sims/sec at 1 and 8 workers from the BM_FarmRun scaling
     sweep, plus the farm's full worker-scaling curve;
   * the --timeline sampling cost (BM_TimeSeriesSample);
@@ -119,6 +123,12 @@ def main(argv):
             "items_per_second",
         )
 
+    # Optional: the process backend rides along when its bench ran (it
+    # is not in REQUIRED — older branches predate exec::ProcessFarm).
+    def process_farm(workers):
+        entries = by_name.get("BM_ProcessFarmRunAll/%d/real_time" % workers)
+        return median_of(entries, "items_per_second") if entries else None
+
     batched_8w = batched(8)
     scalar_8w = scalar(8)
     batched_speedup = (
@@ -137,6 +147,10 @@ def main(argv):
         # shared compiled tables) and the batched-over-scalar ratio.
         "scalar_sims_per_sec_8_workers": scalar_8w,
         "batched_speedup_8_workers": batched_speedup,
+        # Fork-based process backend throughput (None when the bench did
+        # not run). Tracked for trend visibility only — never gated.
+        "process_sims_per_sec_1_worker": process_farm(1),
+        "process_sims_per_sec_8_workers": process_farm(8),
         # Legacy cpu-time headlines from the BM_FarmRun sweep (kept for
         # trend continuity with pre-batching summaries).
         "sims_per_sec_1_worker": farm_scaling.get("1"),
@@ -160,15 +174,17 @@ def main(argv):
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=False)
         handle.write("\n")
+    process_8w = summary["process_sims_per_sec_8_workers"]
     print(
         "bench_summary: %d benchmarks -> %s "
-        "(batched 1w %.0f sims/s, 8w %.0f sims/s, %.2fx over scalar)"
+        "(batched 1w %.0f sims/s, 8w %.0f sims/s, %.2fx over scalar%s)"
         % (
             len(medians),
             args.output,
             summary["batched_sims_per_sec_1_worker"] or 0.0,
             summary["batched_sims_per_sec_8_workers"] or 0.0,
             batched_speedup or 0.0,
+            ", process 8w %.0f sims/s" % process_8w if process_8w else "",
         )
     )
     return 0
